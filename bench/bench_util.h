@@ -1,0 +1,66 @@
+// Shared helpers for the experiment benches: run a workload under several
+// schemes and print the paper-style table plus (optionally) utilization
+// series in CSV form.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/driver/experiment.h"
+
+namespace ursa {
+
+struct SchemeRun {
+  std::string name;
+  ExperimentConfig config;
+};
+
+// Runs every scheme over the workload and prints the Table 2/3/4-style
+// summary. Returns the results in scheme order.
+inline std::vector<ExperimentResult> RunSchemes(const Workload& workload,
+                                                std::vector<SchemeRun> schemes,
+                                                const std::string& title,
+                                                double sample_step = 0.0) {
+  std::vector<ExperimentResult> results;
+  Table table({"scheme", "makespan", "avgJCT", "UEcpu", "SEcpu", "UEmem", "SEmem"});
+  for (SchemeRun& scheme : schemes) {
+    scheme.config.sample_step = sample_step;
+    ExperimentResult result = RunExperiment(workload, scheme.config, scheme.name);
+    table.Row()
+        .Cell(scheme.name)
+        .Cell(result.makespan(), 0)
+        .Cell(result.avg_jct(), 2)
+        .Cell(result.efficiency.ue_cpu)
+        .Cell(result.efficiency.se_cpu)
+        .Cell(result.efficiency.ue_mem)
+        .Cell(result.efficiency.se_mem);
+    results.push_back(std::move(result));
+  }
+  table.Print(title);
+  return results;
+}
+
+// Prints a utilization window of a result as CSV series rows.
+inline void PrintWindow(const ExperimentResult& result, double t0, double t1) {
+  const auto& s = result.series;
+  if (s.step <= 0.0) {
+    return;
+  }
+  const size_t lo =
+      static_cast<size_t>(std::max(0.0, (t0 - s.t0) / s.step));
+  const size_t hi = std::min(
+      s.cpu.size(), static_cast<size_t>(std::max(0.0, (t1 - s.t0) / s.step)));
+  std::printf("series,%s,t,cpu,mem,net\n", result.scheme.c_str());
+  for (size_t i = lo; i < hi; ++i) {
+    std::printf("%s,%.1f,%.1f,%.1f,%.1f\n", result.scheme.c_str(),
+                s.t0 + static_cast<double>(i) * s.step, s.cpu[i], s.mem[i], s.net[i]);
+  }
+}
+
+}  // namespace ursa
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Example: PageRank with the Pregel-style vertex-centric API, executed for
+// real by the LocalRuntime, then the same workload class simulated as a
+// cluster job under Ursa's scheduler.
+//
+//   $ ./examples/pagerank_pregel
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/api/pregel.h"
+#include "src/common/rng.h"
+#include "src/driver/experiment.h"
+#include "src/workloads/graph.h"
+
+int main() {
+  using namespace ursa;
+
+  // --- Part 1: real PageRank on a small synthetic power-law graph. ---
+  const int n = 2000;
+  const int partitions = 8;
+  Rng rng(99);
+  std::vector<std::vector<GraphVertex>> parts(partitions);
+  for (int64_t v = 0; v < n; ++v) {
+    GraphVertex gv;
+    gv.id = v;
+    const int degree = 1 + static_cast<int>(8.0 * rng.SkewFactor(4.0));
+    for (int e = 0; e < degree; ++e) {
+      // Preferential-attachment flavor: low ids are hubs.
+      const int64_t dst = static_cast<int64_t>(
+          rng.UniformInt(static_cast<uint64_t>(1 + rng.UniformInt(static_cast<uint64_t>(n)))));
+      if (dst != v) {
+        gv.neighbors.push_back(dst);
+      }
+    }
+    if (gv.neighbors.empty()) {
+      gv.neighbors.push_back((v + 1) % n);
+    }
+    parts[PregelPartitionOf(v, partitions)].push_back(std::move(gv));
+  }
+
+  auto ranks = RunPregel<double, double>(
+      parts, /*supersteps=*/20, [](int64_t, int) { return 1.0 / n; },
+      [](PregelVertex<double>& v, const std::vector<double>& inbox, int step,
+         const MessageSender<double>& send) {
+        if (step > 0) {
+          double sum = 0.0;
+          for (double m : inbox) {
+            sum += m;
+          }
+          v.value = 0.15 / n + 0.85 * sum;
+        }
+        for (int64_t nb : v.neighbors) {
+          send(nb, v.value / static_cast<double>(v.neighbors.size()));
+        }
+      });
+
+  std::sort(ranks.begin(), ranks.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::printf("top PageRank vertices (of %d):\n", n);
+  for (int i = 0; i < 5; ++i) {
+    std::printf("  vertex %-6lld rank %.5f\n", static_cast<long long>(ranks[i].first),
+                ranks[i].second);
+  }
+
+  // --- Part 2: the same workload class at cluster scale, simulated. ---
+  Workload workload;
+  workload.name = "pagerank-cluster";
+  WorkloadJob job;
+  job.spec = BuildGraphJob(PagerankParams(), 5);
+  workload.jobs.push_back(std::move(job));
+  const ExperimentResult result = RunExperiment(workload, UrsaEjfConfig(), "ursa");
+  std::printf(
+      "\ncluster-scale PageRank (80 GB edges, 20 workers) simulated under "
+      "Ursa:\n  JCT %.1f s, cluster CPU utilization %.1f%%\n",
+      result.records[0].jct(), result.efficiency.se_cpu * result.efficiency.ue_cpu / 100.0);
+  return 0;
+}

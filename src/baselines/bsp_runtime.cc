@@ -1,0 +1,81 @@
+#include "src/baselines/bsp_runtime.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+BspRuntime::BspRuntime(Simulator* sim, Cluster* cluster, const BspJobConfig& config,
+                       std::function<void()> on_finish)
+    : sim_(sim), cluster_(cluster), config_(config), on_finish_(std::move(on_finish)) {
+  CHECK_GT(config_.iterations, 0);
+  CHECK_GT(config_.compute_bytes_per_worker, 0.0);
+}
+
+void BspRuntime::Run() {
+  // The job owns the machines for its lifetime: all cores allocated, the
+  // resident dataset pinned in memory.
+  for (int w = 0; w < cluster_->size(); ++w) {
+    Worker& worker = cluster_->worker(w);
+    worker.AddCpuAllocated(worker.config().cores);
+    CHECK(worker.TryAllocateMemory(config_.resident_memory_per_worker));
+    worker.AddActualMemoryUse(config_.resident_memory_per_worker);
+  }
+  StartIteration(0);
+}
+
+void BspRuntime::StartIteration(int iteration) {
+  if (iteration >= config_.iterations) {
+    finish_time_ = sim_->Now();
+    for (int w = 0; w < cluster_->size(); ++w) {
+      Worker& worker = cluster_->worker(w);
+      worker.AddCpuAllocated(-worker.config().cores);
+      worker.ReleaseMemory(config_.resident_memory_per_worker);
+      worker.AddActualMemoryUse(-config_.resident_memory_per_worker);
+    }
+    if (on_finish_) {
+      on_finish_();
+    }
+    return;
+  }
+  // Compute phase: every worker crunches with compute_core_fraction of its
+  // cores; BSP semantics mean all finish simultaneously.
+  const WorkerConfig& wc = cluster_->config().worker;
+  const double cores_used = wc.cores * config_.compute_core_fraction;
+  const double duration =
+      config_.compute_bytes_per_worker / (wc.cpu_byte_rate * cores_used);
+  for (int w = 0; w < cluster_->size(); ++w) {
+    cluster_->worker(w).AddCpuBusy(cores_used);
+  }
+  sim_->Schedule(duration, [this, iteration, cores_used] {
+    for (int w = 0; w < cluster_->size(); ++w) {
+      cluster_->worker(w).AddCpuBusy(-cores_used);
+    }
+    StartSync(iteration);
+  });
+}
+
+void BspRuntime::StartSync(int iteration) {
+  if (config_.sync_bytes_per_worker <= 0.0 || cluster_->size() < 2) {
+    StartIteration(iteration + 1);
+    return;
+  }
+  const int n = cluster_->size();
+  const double per_peer = config_.sync_bytes_per_worker / (n - 1);
+  auto remaining = std::make_shared<int>(n * (n - 1));
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      if (src == dst) {
+        continue;
+      }
+      cluster_->net().StartFlow(src, dst, per_peer, [this, iteration, remaining] {
+        if (--*remaining == 0) {
+          StartIteration(iteration + 1);
+        }
+      });
+    }
+  }
+}
+
+}  // namespace ursa

@@ -1,0 +1,51 @@
+// Domain-specific BSP runtime modeling Petuum (ML) and Gemini (graph)
+// executions for Figure 1a / 1c: the job owns the whole cluster and runs
+// bulk-synchronous iterations - a compute phase using (nearly) all cores,
+// then an all-to-all synchronization phase on the network - producing the
+// regular alternation of high CPU and high network utilization that
+// motivates Ursa's design.
+#ifndef SRC_BASELINES_BSP_RUNTIME_H_
+#define SRC_BASELINES_BSP_RUNTIME_H_
+
+#include <functional>
+
+#include "src/exec/cluster.h"
+
+namespace ursa {
+
+struct BspJobConfig {
+  int iterations = 20;
+  // CPU byte-equivalents each worker processes per iteration.
+  double compute_bytes_per_worker = 0.0;
+  // Bytes each worker sends (spread across all peers) per iteration.
+  double sync_bytes_per_worker = 0.0;
+  // Fraction of cores the compute phase keeps busy.
+  double compute_core_fraction = 1.0;
+  // Resident dataset size per worker (memory accounting).
+  double resident_memory_per_worker = 0.0;
+};
+
+class BspRuntime {
+ public:
+  BspRuntime(Simulator* sim, Cluster* cluster, const BspJobConfig& config,
+             std::function<void()> on_finish);
+
+  // Starts the BSP execution; completion is signaled via on_finish.
+  void Run();
+
+  double finish_time() const { return finish_time_; }
+
+ private:
+  void StartIteration(int iteration);
+  void StartSync(int iteration);
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  BspJobConfig config_;
+  std::function<void()> on_finish_;
+  double finish_time_ = -1.0;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_BASELINES_BSP_RUNTIME_H_

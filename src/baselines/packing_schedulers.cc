@@ -1,0 +1,104 @@
+#include "src/baselines/packing_schedulers.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+PackingState::PackingState(const Cluster* cluster, PlacementAlgorithm algorithm)
+    : cluster_(cluster), algorithm_(algorithm) {
+  CHECK(algorithm != PlacementAlgorithm::kAlgorithm1);
+  const WorkerConfig& wc = cluster->config().worker;
+  capacity_.cores = wc.cores;
+  capacity_.memory = wc.memory_bytes;
+  capacity_.net = cluster->config().downlink_bytes_per_sec;
+  capacity_.disk = wc.disk_bytes_per_sec * wc.disks;
+  used_.resize(static_cast<size_t>(cluster->size()));
+}
+
+PackingState::Demand PackingState::PeakDemand(const TaskUsage& usage) const {
+  Demand d;
+  d.cores = 1.0;
+  d.memory = usage.memory;
+  if (algorithm_ == PlacementAlgorithm::kCapacity) {
+    // Capacity scheduling only reasons about cores and memory.
+    return d;
+  }
+  if (usage.bytes[static_cast<size_t>(ResourceType::kNetwork)] > 0.0 &&
+      algorithm_ != PlacementAlgorithm::kTetris2) {
+    // Peak pull rate observed in previous runs: the paper's Tetris packs the
+    // reported peak bandwidth of the task's shuffle bursts (a sixteenth of the
+    // downlink is a typical observed peak across concurrent pulls).
+    d.net = capacity_.net / 16.0;
+  }
+  if (usage.bytes[static_cast<size_t>(ResourceType::kDisk)] > 0.0) {
+    d.disk = cluster_->config().worker.disk_bytes_per_sec;
+  }
+  return d;
+}
+
+WorkerId PackingState::SelectWorker(const TaskUsage& usage) const {
+  const Demand demand = PeakDemand(usage);
+  WorkerId best = kInvalidId;
+  double best_score = -1.0;
+  for (int w = 0; w < cluster_->size(); ++w) {
+    if (cluster_->worker(w).failed()) {
+      continue;
+    }
+    const Demand& used = used_[static_cast<size_t>(w)];
+    const Demand avail{capacity_.cores - used.cores, capacity_.memory - used.memory,
+                       capacity_.net - used.net, capacity_.disk - used.disk};
+    if (demand.cores > avail.cores || demand.memory > avail.memory ||
+        demand.net > avail.net || demand.disk > avail.disk) {
+      continue;
+    }
+    double score = 0.0;
+    if (algorithm_ == PlacementAlgorithm::kCapacity) {
+      // Greedy: the worker with the most available resources.
+      score = avail.cores + avail.memory / capacity_.memory;
+    } else {
+      // Tetris alignment: dot product of normalized demand and availability.
+      score = (demand.cores / capacity_.cores) * (avail.cores / capacity_.cores) +
+              (demand.memory / capacity_.memory) * (avail.memory / capacity_.memory);
+      if (capacity_.net > 0.0) {
+        score += (demand.net / capacity_.net) * (avail.net / capacity_.net);
+      }
+      if (capacity_.disk > 0.0) {
+        score += (demand.disk / capacity_.disk) * (avail.disk / capacity_.disk);
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<WorkerId>(w);
+    }
+  }
+  return best;
+}
+
+void PackingState::Reserve(JobId job, TaskId task, WorkerId worker, const TaskUsage& usage) {
+  const Demand demand = PeakDemand(usage);
+  Demand& used = used_[static_cast<size_t>(worker)];
+  used.cores += demand.cores;
+  used.memory += demand.memory;
+  used.net += demand.net;
+  used.disk += demand.disk;
+  const bool inserted = reservations_.emplace(Key(job, task), std::make_pair(worker, demand)).second;
+  CHECK(inserted) << "duplicate reservation";
+}
+
+void PackingState::Release(JobId job, TaskId task) {
+  auto it = reservations_.find(Key(job, task));
+  if (it == reservations_.end()) {
+    return;
+  }
+  const auto& [worker, demand] = it->second;
+  Demand& used = used_[static_cast<size_t>(worker)];
+  used.cores = std::max(0.0, used.cores - demand.cores);
+  used.memory = std::max(0.0, used.memory - demand.memory);
+  used.net = std::max(0.0, used.net - demand.net);
+  used.disk = std::max(0.0, used.disk - demand.disk);
+  reservations_.erase(it);
+}
+
+}  // namespace ursa

@@ -1,0 +1,85 @@
+// Alternative task-placement algorithms evaluated in section 5.1.2:
+// Tetris [17] (multi-dimensional peak-demand packing), Tetris2 (Tetris
+// ignoring the network dimension) and YARN's Capacity scheduler (greedy
+// most-available-resources). The paper swaps these in for Algorithm 1 while
+// keeping Ursa's execution layer; PackingState does the same behind
+// UrsaScheduler.
+//
+// The defining difference from Algorithm 1: these algorithms reserve a
+// task's *peak* demand on the chosen worker for the task's entire lifetime
+// (they learn nothing from monotask completions), so resources freed by
+// fine-grained fluctuations cannot be reused. A task with any shuffle input
+// reserves a large slice of the downlink (its observed peak pull rate),
+// which reproduces the paper's finding that Tetris blocks placements on
+// phantom network demand while the link is mostly idle.
+#ifndef SRC_BASELINES_PACKING_SCHEDULERS_H_
+#define SRC_BASELINES_PACKING_SCHEDULERS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/cluster.h"
+#include "src/exec/estimator.h"
+
+namespace ursa {
+
+enum class PlacementAlgorithm : int {
+  kAlgorithm1 = 0,  // Ursa's Algorithm 1 (default).
+  kTetris = 1,
+  kTetris2 = 2,  // Tetris without the network dimension.
+  kCapacity = 3,
+};
+
+inline const char* PlacementAlgorithmName(PlacementAlgorithm algorithm) {
+  switch (algorithm) {
+    case PlacementAlgorithm::kAlgorithm1:
+      return "Algorithm1";
+    case PlacementAlgorithm::kTetris:
+      return "Tetris";
+    case PlacementAlgorithm::kTetris2:
+      return "Tetris2";
+    case PlacementAlgorithm::kCapacity:
+      return "Capacity";
+  }
+  return "?";
+}
+
+class PackingState {
+ public:
+  PackingState(const Cluster* cluster, PlacementAlgorithm algorithm);
+
+  // Chooses a worker for a task with the given usage estimate. Returns
+  // kInvalidId when no worker can fit the peak demand. Does not commit.
+  WorkerId SelectWorker(const TaskUsage& usage) const;
+
+  // Commits / releases a placed task's reservation.
+  void Reserve(JobId job, TaskId task, WorkerId worker, const TaskUsage& usage);
+  void Release(JobId job, TaskId task);
+
+  // Reserved cores on a worker (for tests).
+  double reserved_cores(WorkerId w) const { return used_[static_cast<size_t>(w)].cores; }
+
+ private:
+  struct Demand {
+    double cores = 0.0;
+    double memory = 0.0;
+    double net = 0.0;   // bytes/s
+    double disk = 0.0;  // bytes/s
+  };
+  Demand PeakDemand(const TaskUsage& usage) const;
+  static uint64_t Key(JobId job, TaskId task) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(job)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(task));
+  }
+
+  const Cluster* cluster_;
+  PlacementAlgorithm algorithm_;
+  Demand capacity_;
+  std::vector<Demand> used_;
+  std::unordered_map<uint64_t, std::pair<WorkerId, Demand>> reservations_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_BASELINES_PACKING_SCHEDULERS_H_

@@ -1,0 +1,87 @@
+// Lightweight logging and invariant-checking facilities.
+//
+// The library avoids exceptions on hot paths (Google C++ style); fatal
+// invariant violations abort through CHECK/DCHECK macros instead. Log output
+// goes to stderr and can be silenced globally, which benchmarks use to keep
+// their stdout machine-readable.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ursa {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Returns / sets the minimum level that is actually emitted. Thread-safe
+// (relaxed atomics); intended to be set once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+// Accumulates one log line and emits it (and possibly aborts) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Used to swallow the stream expression when a log statement is disabled.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace log_internal
+
+#define URSA_LOG_IS_ON(level) \
+  (::ursa::LogLevel::k##level >= ::ursa::GetLogLevel())
+
+#define LOG(level)                 \
+  !URSA_LOG_IS_ON(level)           \
+      ? (void)0                    \
+      : ::ursa::log_internal::Voidify() & \
+            ::ursa::log_internal::LogMessage(::ursa::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+// CHECK aborts (after logging) when the condition is false, in all builds.
+#define CHECK(cond)                                                                        \
+  (cond) ? (void)0                                                                         \
+         : ::ursa::log_internal::Voidify() &                                               \
+               ::ursa::log_internal::LogMessage(::ursa::LogLevel::kFatal, __FILE__, __LINE__) \
+                   .stream()                                                               \
+               << "CHECK failed: " #cond " "
+
+#define CHECK_OP(a, b, op) CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_EQ(a, b) CHECK_OP(a, b, ==)
+#define CHECK_NE(a, b) CHECK_OP(a, b, !=)
+#define CHECK_LT(a, b) CHECK_OP(a, b, <)
+#define CHECK_LE(a, b) CHECK_OP(a, b, <=)
+#define CHECK_GT(a, b) CHECK_OP(a, b, >)
+#define CHECK_GE(a, b) CHECK_OP(a, b, >=)
+
+#ifdef NDEBUG
+#define DCHECK(cond) CHECK(true || (cond))
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,102 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+namespace {
+
+// Percentile over an already-sorted sample.
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> values, double p) {
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  RunningStat rs;
+  for (double v : sorted) {
+    rs.Add(v);
+  }
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.p50 = PercentileSorted(sorted, 50.0);
+  s.p80 = PercentileSorted(sorted, 80.0);
+  s.p95 = PercentileSorted(sorted, 95.0);
+  s.p99 = PercentileSorted(sorted, 99.0);
+  return s;
+}
+
+double OutlierThreshold(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double q1 = PercentileSorted(sorted, 25.0);
+  const double q3 = PercentileSorted(sorted, 75.0);
+  return q3 + 1.5 * (q3 - q1);
+}
+
+double MeanAbsoluteDeviation(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (double v : values) {
+    mean += v;
+  }
+  mean /= static_cast<double>(values.size());
+  double mad = 0.0;
+  for (double v : values) {
+    mad += std::abs(v - mean);
+  }
+  return mad / static_cast<double>(values.size());
+}
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ursa

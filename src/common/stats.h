@@ -1,0 +1,56 @@
+// Small statistics helpers used by the metrics layer: summary statistics,
+// percentiles (linear interpolation), and the outlier threshold the paper
+// uses for straggler detection (Q3 + 1.5 * IQR).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ursa {
+
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p80 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Percentile with linear interpolation between closest ranks. `p` in [0, 100].
+// Returns 0 for an empty vector.
+double Percentile(std::vector<double> values, double p);
+
+// Full summary of a sample. Returns a zeroed Summary for an empty input.
+Summary Summarize(const std::vector<double>& values);
+
+// The paper's straggler threshold: Q3 + 1.5 * IQR of the sample (general
+// statistical outlier definition, see section 5.1.2).
+double OutlierThreshold(const std::vector<double>& values);
+
+// Mean absolute deviation from the mean, expressed in the same unit as the
+// input. Used for the cross-worker utilization spread reported in section 5.
+double MeanAbsoluteDeviation(const std::vector<double>& values);
+
+// Incremental mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_STATS_H_

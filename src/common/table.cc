@@ -1,0 +1,89 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::Cell(const std::string& value) {
+  CHECK(!rows_.empty()) << "Cell() before Row()";
+  CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+Table& Table::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return Cell(std::string(buf));
+}
+
+Table& Table::Cell(int64_t value) { return Cell(std::to_string(value)); }
+
+std::string Table::ToString(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  if (!title.empty()) {
+    out << "== " << title << " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) {
+        out << "  ";
+      }
+      // Left-align the first column (labels), right-align the rest (numbers).
+      const size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        out << cells[c] << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cells[c];
+      }
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void Table::Print(const std::string& title) const {
+  const std::string s = ToString(title);
+  std::fputs(s.c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+void PrintSeriesCsv(const std::string& label, double t0, double step,
+                    const std::vector<double>& cpu, const std::vector<double>& mem,
+                    const std::vector<double>& net) {
+  std::printf("series,%s,t,cpu,mem,net\n", label.c_str());
+  const size_t n = std::max({cpu.size(), mem.size(), net.size()});
+  auto at = [](const std::vector<double>& v, size_t i) {
+    return i < v.size() ? v[i] : 0.0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("%s,%.2f,%.1f,%.1f,%.1f\n", label.c_str(),
+                t0 + static_cast<double>(i) * step, at(cpu, i), at(mem, i), at(net, i));
+  }
+}
+
+}  // namespace ursa

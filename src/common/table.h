@@ -1,0 +1,41 @@
+// Console table printing for the benchmark harness. Produces fixed-width
+// aligned tables resembling the tables in the paper, e.g.:
+//
+//   scheme      makespan   avgJCT   UEcpu   SEcpu
+//   Ursa-EJF      2803.0    600.0   99.64   92.47
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Starts a new row; subsequent Cell() calls fill it left to right.
+  Table& Row();
+  Table& Cell(const std::string& value);
+  Table& Cell(double value, int precision = 2);
+  Table& Cell(int64_t value);
+
+  // Renders with padded columns. A title line is printed first if non-empty.
+  std::string ToString(const std::string& title = "") const;
+  void Print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a resampled utilization series as CSV rows prefixed with a label:
+//   label,t,cpu%,mem%,net%
+void PrintSeriesCsv(const std::string& label, double t0, double step,
+                    const std::vector<double>& cpu, const std::vector<double>& mem,
+                    const std::vector<double>& net);
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_TABLE_H_

@@ -1,0 +1,84 @@
+#include "src/common/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+void StepTracker::Set(double now, double value) {
+  if (!times_.empty()) {
+    CHECK_GE(now, times_.back());
+  }
+  if (!times_.empty() && times_.back() == now) {
+    values_.back() = value;
+  } else if (values_.empty() || values_.back() != value) {
+    times_.push_back(now);
+    values_.push_back(value);
+  }
+  current_ = value;
+}
+
+void StepTracker::Add(double now, double delta) { Set(now, current_ + delta); }
+
+double StepTracker::Integral(double from, double to) const {
+  if (times_.empty() || to <= from) {
+    return 0.0;
+  }
+  double total = 0.0;
+  // Find the first change point at or after `from`; the value in force at
+  // `from` is the one from the previous change point (or 0 if none).
+  auto it = std::upper_bound(times_.begin(), times_.end(), from);
+  size_t i = static_cast<size_t>(it - times_.begin());
+  double t = from;
+  double v = (i == 0) ? 0.0 : values_[i - 1];
+  while (t < to) {
+    const double next = (i < times_.size()) ? std::min(times_[i], to) : to;
+    total += v * (next - t);
+    t = next;
+    if (i < times_.size() && times_[i] <= to) {
+      v = values_[i];
+      ++i;
+    }
+  }
+  return total;
+}
+
+double StepTracker::Average(double from, double to) const {
+  if (to <= from) {
+    return 0.0;
+  }
+  return Integral(from, to) / (to - from);
+}
+
+double StepTracker::Max(double from, double to) const {
+  if (times_.empty() || to <= from) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(times_.begin(), times_.end(), from);
+  size_t i = static_cast<size_t>(it - times_.begin());
+  double best = (i == 0) ? 0.0 : values_[i - 1];
+  for (; i < times_.size() && times_[i] <= to; ++i) {
+    best = std::max(best, values_[i]);
+  }
+  return best;
+}
+
+std::vector<double> StepTracker::Resample(double from, double to, double step) const {
+  CHECK_GT(step, 0.0);
+  std::vector<double> out;
+  if (to <= from) {
+    return out;
+  }
+  const size_t n = static_cast<size_t>(std::ceil((to - from) / step));
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = from + static_cast<double>(i) * step;
+    const double hi = std::min(lo + step, to);
+    out.push_back(Average(lo, hi));
+  }
+  return out;
+}
+
+}  // namespace ursa

@@ -1,0 +1,54 @@
+// Piecewise-constant time-series tracking.
+//
+// StepTracker records a quantity that changes at discrete instants (busy CPU
+// cores, bytes/s of network receive, allocated memory...) and supports exact
+// time-integrals as well as resampling onto a fixed grid. The metrics layer
+// builds SE/UE from integrals, and the figure benches print resampled series.
+#ifndef SRC_COMMON_TIME_SERIES_H_
+#define SRC_COMMON_TIME_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ursa {
+
+class StepTracker {
+ public:
+  StepTracker() = default;
+
+  // Records that the tracked quantity has `value` from time `now` onward.
+  // Times must be non-decreasing across calls.
+  void Set(double now, double value);
+
+  // Adds `delta` to the current value at time `now`.
+  void Add(double now, double delta);
+
+  double current() const { return current_; }
+
+  // Exact integral of the quantity over [from, to]. The value before the
+  // first Set is 0; the value after the last change extends indefinitely.
+  double Integral(double from, double to) const;
+
+  // Average value over [from, to]; 0 when the window is empty.
+  double Average(double from, double to) const;
+
+  // Maximum value attained in [from, to].
+  double Max(double from, double to) const;
+
+  // Resamples onto a grid of `step`-spaced points covering [from, to]; each
+  // output point is the average over its step window (so short spikes still
+  // show up proportionally).
+  std::vector<double> Resample(double from, double to, double step) const;
+
+  size_t num_changes() const { return times_.size(); }
+
+ private:
+  // Change points: value becomes values_[i] at times_[i].
+  std::vector<double> times_;
+  std::vector<double> values_;
+  double current_ = 0.0;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_TIME_SERIES_H_

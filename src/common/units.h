@@ -1,0 +1,19 @@
+// Size and bandwidth unit helpers. All sizes in the library are plain doubles
+// measured in bytes; all rates are bytes/second; all times are seconds.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+namespace ursa {
+
+inline constexpr double kKiB = 1024.0;
+inline constexpr double kMiB = 1024.0 * kKiB;
+inline constexpr double kGiB = 1024.0 * kMiB;
+inline constexpr double kTiB = 1024.0 * kGiB;
+
+// Network link rates are conventionally given in decimal bits per second.
+constexpr double GbpsToBytesPerSec(double gbps) { return gbps * 1e9 / 8.0; }
+constexpr double MBps(double mb) { return mb * 1e6; }
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_UNITS_H_

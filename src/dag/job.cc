@@ -1,0 +1,17 @@
+#include "src/dag/job.h"
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+std::unique_ptr<Job> Job::Create(JobId id, JobSpec spec) {
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->plan = ExecutionPlan::Build(spec.graph, spec.seed);
+  job->spec = std::move(spec);
+  CHECK_GT(job->spec.declared_memory_bytes, 0.0)
+      << "job " << job->spec.name << " must declare a memory estimate";
+  return job;
+}
+
+}  // namespace ursa

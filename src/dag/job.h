@@ -1,0 +1,45 @@
+// Job specification and the compiled job handed to the execution layer.
+#ifndef SRC_DAG_JOB_H_
+#define SRC_DAG_JOB_H_
+
+#include <memory>
+#include <string>
+
+#include "src/dag/opgraph.h"
+#include "src/dag/plan.h"
+#include "src/dag/types.h"
+
+namespace ursa {
+
+// What a user submits: a dataflow plus the coarse resource declarations that
+// existing schedulers rely on (the paper's M(j) memory estimate).
+struct JobSpec {
+  std::string name;
+  OpGraph graph;
+  // User-declared memory estimate M(j) in bytes (section 4.2.1). Users are
+  // conservative, so this is typically well above the true peak usage.
+  double declared_memory_bytes = 0.0;
+  // True memory consumed per input byte while a task runs, used to account
+  // actual utilization (UE_mem < 1 comes from the gap to the estimates).
+  double true_m2i = 1.0;
+  // Estimator default memory-to-input ratio for ops without an explicit m2i.
+  double default_m2i = 2.0;
+  // Deterministic seed for skew weights and any per-job randomness.
+  uint64_t seed = 1;
+  // Workload class label used in reports ("tpch", "ml", "graph", ...).
+  std::string klass;
+};
+
+// A submitted job: the spec compiled into the monotask execution plan.
+struct Job {
+  JobId id = kInvalidId;
+  JobSpec spec;
+  ExecutionPlan plan;
+  double submit_time = 0.0;
+
+  static std::unique_ptr<Job> Create(JobId id, JobSpec spec);
+};
+
+}  // namespace ursa
+
+#endif  // SRC_DAG_JOB_H_

@@ -1,0 +1,61 @@
+// Fundamental identifier and enum types shared across the DAG, execution and
+// scheduling layers.
+#ifndef SRC_DAG_TYPES_H_
+#define SRC_DAG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ursa {
+
+// A monotask uses exactly one of these resources (plus memory, which is
+// accounted per-task; see section 4.2.1 of the paper).
+enum class ResourceType : int {
+  kCpu = 0,
+  kNetwork = 1,
+  kDisk = 2,
+};
+inline constexpr int kNumMonotaskResources = 3;
+
+// Resource dimensions used in placement scoring (Eq. 1 sums over these).
+enum class ResourceDim : int {
+  kCpu = 0,
+  kNetwork = 1,
+  kDisk = 2,
+  kMemory = 3,
+};
+inline constexpr int kNumResourceDims = 4;
+
+inline const char* ResourceTypeName(ResourceType type) {
+  switch (type) {
+    case ResourceType::kCpu:
+      return "cpu";
+    case ResourceType::kNetwork:
+      return "network";
+    case ResourceType::kDisk:
+      return "disk";
+  }
+  return "?";
+}
+
+// Dependency kinds between Ops (section 4.1.1). A sync dependency is a
+// barrier: the downstream Op may only run once the upstream Op finished on
+// every partition. An async dependency is per-partition pipelining.
+enum class DepKind : int {
+  kSync = 0,
+  kAsync = 1,
+};
+
+using JobId = int32_t;
+using OpId = int32_t;
+using DataId = int32_t;
+using MonotaskId = int32_t;
+using TaskId = int32_t;
+using StageId = int32_t;
+using WorkerId = int32_t;
+
+inline constexpr int32_t kInvalidId = -1;
+
+}  // namespace ursa
+
+#endif  // SRC_DAG_TYPES_H_

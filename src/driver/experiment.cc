@@ -1,0 +1,153 @@
+#include "src/driver/experiment.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+namespace {
+
+// Collects per-job, per-stage task completion times from Ursa job managers.
+std::vector<std::vector<std::vector<double>>> UrsaStageTimes(const UrsaScheduler& scheduler,
+                                                             int num_jobs) {
+  std::vector<std::vector<std::vector<double>>> all;
+  all.reserve(static_cast<size_t>(num_jobs));
+  for (int j = 0; j < num_jobs; ++j) {
+    const JobManager* jm = scheduler.job_manager(static_cast<JobId>(j));
+    std::vector<std::vector<double>> stages;
+    if (jm != nullptr) {
+      const ExecutionPlan& plan = jm->job().plan;
+      stages.resize(plan.stages().size());
+      for (const TaskSpec& task : plan.tasks()) {
+        const double t = jm->task_timing(task.id).finish_time;
+        if (t >= 0.0) {
+          stages[static_cast<size_t>(task.stage)].push_back(t);
+        }
+      }
+    }
+    all.push_back(std::move(stages));
+  }
+  return all;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig& config,
+                               const std::string& scheme_name) {
+  Simulator sim;
+  Cluster cluster(&sim, config.cluster);
+  ExperimentResult result;
+  result.scheme = scheme_name;
+
+  std::unique_ptr<UrsaScheduler> ursa_sched;
+  std::unique_ptr<ExecutorModelScheduler> exec_sched;
+  if (config.kind == SchedulerKind::kUrsa) {
+    ursa_sched = std::make_unique<UrsaScheduler>(&sim, &cluster, config.ursa);
+  } else {
+    exec_sched = std::make_unique<ExecutorModelScheduler>(&sim, &cluster, config.executor,
+                                                          config.cm);
+  }
+
+  // Jobs are compiled and submitted at their submission times.
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    const WorkloadJob& wj = workload.jobs[i];
+    sim.ScheduleAt(wj.submit_time, [&, i] {
+      auto job = Job::Create(static_cast<JobId>(i), workload.jobs[i].spec);
+      if (ursa_sched != nullptr) {
+        ursa_sched->SubmitJob(std::move(job));
+      } else {
+        exec_sched->SubmitJob(std::move(job));
+      }
+    });
+  }
+
+  sim.Run(config.time_limit);
+  const int finished = ursa_sched != nullptr ? ursa_sched->finished_jobs()
+                                             : exec_sched->finished_jobs();
+  CHECK_EQ(finished, static_cast<int>(workload.jobs.size()))
+      << "scheme " << scheme_name << " did not finish workload " << workload.name
+      << " within the time limit (likely a scheduling deadlock)";
+
+  result.records = ursa_sched != nullptr ? ursa_sched->job_records()
+                                         : exec_sched->job_records();
+  double last_finish = 0.0;
+  for (const JobRecord& record : result.records) {
+    last_finish = std::max(last_finish, record.finish_time);
+  }
+  result.efficiency = MetricsCollector::Compute(cluster, result.records, 0.0, last_finish);
+  if (config.sample_step > 0.0) {
+    result.series = MetricsCollector::Sample(cluster, 0.0, last_finish, config.sample_step);
+  }
+
+  // Straggler analysis.
+  std::vector<double> jcts;
+  jcts.reserve(result.records.size());
+  for (const JobRecord& record : result.records) {
+    jcts.push_back(record.jct());
+  }
+  if (ursa_sched != nullptr) {
+    result.straggler_ratio = MetricsCollector::StragglerTimeRatio(
+        UrsaStageTimes(*ursa_sched, static_cast<int>(result.records.size())), jcts);
+  } else {
+    auto times = exec_sched->stage_task_times();
+    times.resize(result.records.size());
+    result.straggler_ratio = MetricsCollector::StragglerTimeRatio(times, jcts);
+  }
+  return result;
+}
+
+ExperimentConfig UrsaEjfConfig() {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kUrsa;
+  config.ursa.policy = OrderingPolicy::kEjf;
+  return config;
+}
+
+ExperimentConfig UrsaSrjfConfig() {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kUrsa;
+  config.ursa.policy = OrderingPolicy::kSrjf;
+  return config;
+}
+
+ExperimentConfig SparkLikeConfig() {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kExecutorModel;
+  config.executor.mode = ExecutorMode::kTaskSlots;
+  config.executor.executor_cores = 4;
+  config.executor.executor_memory_bytes = 8.0 * 1024 * 1024 * 1024;
+  config.executor.dynamic_allocation = true;
+  config.executor.idle_timeout = 2.0;
+  config.executor.task_launch_overhead = 0.02;
+  config.executor.job_startup_delay = 1.0;
+  return config;
+}
+
+ExperimentConfig TezLikeConfig() {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kExecutorModel;
+  config.executor.mode = ExecutorMode::kTaskSlots;
+  config.executor.executor_cores = 2;
+  config.executor.executor_memory_bytes = 6.0 * 1024 * 1024 * 1024;
+  config.executor.dynamic_allocation = false;  // Container reuse until job end.
+  config.executor.task_launch_overhead = 0.15;
+  config.executor.job_startup_delay = 1.5;
+  return config;
+}
+
+ExperimentConfig MonoSparkConfig() {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kExecutorModel;
+  config.executor.mode = ExecutorMode::kMonotaskQueues;
+  config.executor.executor_cores = 4;
+  config.executor.executor_memory_bytes = 8.0 * 1024 * 1024 * 1024;
+  config.executor.dynamic_allocation = true;
+  config.executor.idle_timeout = 2.0;
+  config.executor.task_launch_overhead = 0.0;  // Monotasks queue directly.
+  config.executor.job_startup_delay = 1.0;
+  return config;
+}
+
+}  // namespace ursa

@@ -1,0 +1,66 @@
+// Experiment harness: runs a Workload on a simulated cluster under one of
+// the scheduling schemes from section 5 and returns the paper's metrics.
+// Every bench binary and cluster example goes through this entry point.
+//
+// Schemes:
+//   Ursa(EJF/SRJF, Algorithm1)  - the paper's system (section 4)
+//   Ursa + Tetris/Tetris2/Capacity - alternative placement (section 5.1.2)
+//   Y+S  - YARN + Spark-like executor model
+//   Y+T  - YARN + Tez-like executor model (container reuse, no dyn. alloc)
+//   Y+U  - YARN + Ursa execution layer in containers (MonoSpark simulation)
+#ifndef SRC_DRIVER_EXPERIMENT_H_
+#define SRC_DRIVER_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/baselines/executor_runtime.h"
+#include "src/exec/cluster.h"
+#include "src/metrics/metrics.h"
+#include "src/scheduler/ursa_scheduler.h"
+#include "src/workloads/workload.h"
+
+namespace ursa {
+
+enum class SchedulerKind : int {
+  kUrsa = 0,
+  kExecutorModel = 1,
+};
+
+struct ExperimentConfig {
+  ClusterConfig cluster;
+  SchedulerKind kind = SchedulerKind::kUrsa;
+  UrsaSchedulerConfig ursa;
+  ExecutorModelConfig executor;
+  ContainerManagerConfig cm;
+  // Safety cap on simulated time; the run aborts (CHECK) if jobs are still
+  // unfinished at this point, which indicates a scheduling deadlock.
+  double time_limit = 500000.0;
+  // When > 0, the result carries a cluster utilization series at this step.
+  double sample_step = 0.0;
+};
+
+struct ExperimentResult {
+  std::string scheme;
+  EfficiencyReport efficiency;
+  std::vector<JobRecord> records;
+  MetricsCollector::UtilizationSeries series;
+  // Straggler-time-to-JCT ratio (section 5.1.2), percent.
+  double straggler_ratio = 0.0;
+  double makespan() const { return efficiency.makespan; }
+  double avg_jct() const { return efficiency.avg_jct; }
+};
+
+ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig& config,
+                               const std::string& scheme_name);
+
+// Preset scheme configurations used across benches.
+ExperimentConfig UrsaEjfConfig();
+ExperimentConfig UrsaSrjfConfig();
+ExperimentConfig SparkLikeConfig();   // Y+S
+ExperimentConfig TezLikeConfig();     // Y+T
+ExperimentConfig MonoSparkConfig();   // Y+U
+
+}  // namespace ursa
+
+#endif  // SRC_DRIVER_EXPERIMENT_H_

@@ -1,0 +1,56 @@
+// A simulated cluster: N homogeneous workers plus the shared network fabric
+// and the metadata store. Mirrors the paper's testbed shape (20 machines,
+// 32 vcores, 128 GB RAM, 10 GbE, one disk) by default.
+#ifndef SRC_EXEC_CLUSTER_H_
+#define SRC_EXEC_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/exec/metadata_store.h"
+#include "src/exec/worker.h"
+#include "src/net/flow_simulator.h"
+#include "src/sim/simulator.h"
+
+namespace ursa {
+
+struct ClusterConfig {
+  int num_workers = 20;
+  WorkerConfig worker;
+  double uplink_bytes_per_sec = 10e9 / 8.0;   // 10 Gbps.
+  double downlink_bytes_per_sec = 10e9 / 8.0; // 10 Gbps.
+  // When false (default), only receiver downlinks constrain transfers - the
+  // contention model of section 4.2.3. Set true to also enforce sender
+  // uplinks (full max-min fairness).
+  bool enforce_uplinks = false;
+};
+
+class Cluster {
+ public:
+  Cluster(Simulator* sim, const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+  Worker& worker(WorkerId id) { return *workers_[static_cast<size_t>(id)]; }
+  const Worker& worker(WorkerId id) const { return *workers_[static_cast<size_t>(id)]; }
+  FlowSimulator& net() { return net_; }
+  MetadataStore& metadata() { return metadata_; }
+  Simulator& sim() { return *sim_; }
+  const ClusterConfig& config() const { return config_; }
+
+  int total_cores() const;
+  double total_memory() const;
+
+ private:
+  Simulator* sim_;
+  ClusterConfig config_;
+  FlowSimulator net_;
+  MetadataStore metadata_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_EXEC_CLUSTER_H_

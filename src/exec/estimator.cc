@@ -1,0 +1,161 @@
+#include "src/exec/estimator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+namespace {
+
+double LookupLocal(const std::vector<OutputRecord>* local, DataId data, int partition) {
+  if (local == nullptr) {
+    return -1.0;
+  }
+  for (const OutputRecord& rec : *local) {
+    if (rec.data == data && rec.partition == partition) {
+      return rec.bytes;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+double UsageEstimator::MonotaskInputBytes(const Job& job, MonotaskId mt_id,
+                                          const MetadataStore& meta,
+                                          const std::vector<OutputRecord>* local) {
+  const ExecutionPlan& plan = job.plan;
+  const MonotaskSpec& mt = plan.monotask(mt_id);
+  const CollapsedOp& cop = plan.cop(mt.cop);
+  double total = 0.0;
+  for (size_t r = 0; r < cop.reads.size(); ++r) {
+    const DataId d = cop.reads[r];
+    switch (cop.read_modes[r]) {
+      case ReadMode::kExternal:
+        total += plan.external_sizes(d)[static_cast<size_t>(mt.index)];
+        break;
+      case ReadMode::kOnePartition: {
+        const double local_bytes = LookupLocal(local, d, mt.index);
+        if (local_bytes >= 0.0) {
+          total += local_bytes;
+        } else {
+          total += meta.Get(job.id, d, mt.index).bytes;
+        }
+        break;
+      }
+      case ReadMode::kGatherSlices: {
+        const int partitions = plan.dataset_partitions(d);
+        const double weight =
+            cop.slice_weights[static_cast<size_t>(mt.index)] / cop.parallelism;
+        for (int p = 0; p < partitions; ++p) {
+          total += meta.Get(job.id, d, p).bytes * weight;
+        }
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<OutputRecord> UsageEstimator::ComputeOutputs(const Job& job, MonotaskId mt_id,
+                                                         double input_bytes) {
+  const ExecutionPlan& plan = job.plan;
+  const MonotaskSpec& mt = plan.monotask(mt_id);
+  const CollapsedOp& cop = plan.cop(mt.cop);
+  std::vector<OutputRecord> out;
+  out.reserve(cop.creates.size());
+  // Skew weights are applied where the skew physically materializes: at
+  // gather time for shuffles (already folded into input_bytes), at output
+  // time for CPU/disk producers.
+  double weight = 1.0;
+  if (cop.type != ResourceType::kNetwork) {
+    weight = cop.slice_weights[static_cast<size_t>(mt.index)];
+  }
+  for (DataId d : cop.creates) {
+    OutputRecord rec;
+    rec.data = d;
+    rec.partition = mt.index;
+    rec.bytes = input_bytes * cop.cost.output_selectivity * weight;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<RunnableMonotask::Pull> UsageEstimator::ResolvePulls(const Job& job,
+                                                                 MonotaskId mt_id,
+                                                                 const MetadataStore& meta) {
+  const ExecutionPlan& plan = job.plan;
+  const MonotaskSpec& mt = plan.monotask(mt_id);
+  const CollapsedOp& cop = plan.cop(mt.cop);
+  CHECK(cop.type == ResourceType::kNetwork);
+  std::unordered_map<WorkerId, double> per_source;
+  for (size_t r = 0; r < cop.reads.size(); ++r) {
+    const DataId d = cop.reads[r];
+    switch (cop.read_modes[r]) {
+      case ReadMode::kExternal:
+        LOG(Fatal) << "network op " << cop.name << " reads external data";
+        break;
+      case ReadMode::kOnePartition: {
+        const PartitionInfo& info = meta.Get(job.id, d, mt.index);
+        per_source[info.worker] += info.bytes;
+        break;
+      }
+      case ReadMode::kGatherSlices: {
+        const int partitions = plan.dataset_partitions(d);
+        const double weight =
+            cop.slice_weights[static_cast<size_t>(mt.index)] / cop.parallelism;
+        for (int p = 0; p < partitions; ++p) {
+          const PartitionInfo& info = meta.Get(job.id, d, p);
+          per_source[info.worker] += info.bytes * weight;
+        }
+        break;
+      }
+    }
+  }
+  std::vector<RunnableMonotask::Pull> pulls;
+  pulls.reserve(per_source.size());
+  for (const auto& [worker, bytes] : per_source) {
+    pulls.push_back(RunnableMonotask::Pull{worker, bytes});
+  }
+  // Deterministic order.
+  std::sort(pulls.begin(), pulls.end(),
+            [](const RunnableMonotask::Pull& a, const RunnableMonotask::Pull& b) {
+              return a.src < b.src;
+            });
+  return pulls;
+}
+
+TaskUsage UsageEstimator::EstimateTask(const Job& job, TaskId task_id,
+                                       const MetadataStore& meta, double ready_input_total) {
+  const ExecutionPlan& plan = job.plan;
+  const TaskSpec& task = plan.task(task_id);
+  TaskUsage usage;
+  std::vector<OutputRecord> local;
+  for (MonotaskId m : task.monotasks) {
+    const MonotaskSpec& mt = plan.monotask(m);
+    const double in = MonotaskInputBytes(job, m, meta, &local);
+    usage.bytes[static_cast<size_t>(mt.type)] += in;
+    if (mt.intask_deps.empty()) {
+      usage.input_bytes += in;  // Root monotasks bring data into the task.
+    }
+    for (OutputRecord& rec : ComputeOutputs(job, m, in)) {
+      local.push_back(rec);
+    }
+  }
+  // Memory: min(r * M(j), m2i * I(t)), with r the task's share of the ready
+  // input (section 4.2.1).
+  const StageSpec& stage = plan.stage(task.stage);
+  const double m2i = stage.m2i > 0.0 ? stage.m2i : job.spec.default_m2i;
+  double r = 1.0;
+  if (ready_input_total > 0.0) {
+    r = std::min(1.0, usage.input_bytes / ready_input_total);
+  }
+  usage.memory = std::min(r * job.spec.declared_memory_bytes, m2i * usage.input_bytes);
+  // Every task needs some memory to run at all.
+  usage.memory = std::max(usage.memory, 16.0 * 1024 * 1024);
+  return usage;
+}
+
+}  // namespace ursa

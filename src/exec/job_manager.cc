@@ -1,0 +1,245 @@
+#include "src/exec/job_manager.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+JobManager::JobManager(Simulator* sim, Cluster* cluster, Job* job, JobManagerListener* listener)
+    : sim_(sim), cluster_(cluster), job_(job), listener_(listener) {
+  tasks_.resize(plan().tasks().size());
+  monotasks_.resize(plan().monotasks().size());
+  stages_.resize(plan().stages().size());
+  remaining_work_ = plan().ExpectedWorkByResource();
+}
+
+void JobManager::Start() {
+  for (const StageSpec& stage : plan().stages()) {
+    stages_[static_cast<size_t>(stage.id)].remaining_tasks = stage.num_tasks;
+  }
+  for (const MonotaskSpec& mt : plan().monotasks()) {
+    monotasks_[static_cast<size_t>(mt.id)].remaining_deps =
+        static_cast<int>(mt.intask_deps.size());
+  }
+  for (const TaskSpec& task : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    rt.remaining_async_parents = static_cast<int>(task.async_parents.size());
+    rt.remaining_sync_stages = static_cast<int>(task.sync_parent_stages.size());
+    rt.remaining_monotasks = static_cast<int>(task.monotasks.size());
+  }
+  for (const TaskSpec& task : plan().tasks()) {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.remaining_async_parents == 0 && rt.remaining_sync_stages == 0) {
+      MarkReady(task.id);
+    }
+  }
+}
+
+void JobManager::MarkReady(TaskId t) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.state == TaskState::kBlocked);
+  rt.state = TaskState::kReady;
+  rt.timing.ready_time = sim_->Now();
+  // Per-resource bytes are exact now: all inputs from outside the task are
+  // materialized (parents completed).
+  rt.usage = UsageEstimator::EstimateTask(*job_, t, cluster_->metadata(), 0.0);
+  ready_unplaced_.push_back(t);
+  ready_input_total_ += rt.usage.input_bytes;
+  listener_->OnTaskReady(job_->id, t);
+}
+
+TaskUsage JobManager::GetUsage(TaskId t) const {
+  const TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  TaskUsage usage = rt.usage;
+  // Refresh the memory estimate against the current ready set (the r * M(j)
+  // cap of section 4.2.1).
+  const StageSpec& stage = plan().stage(plan().task(t).stage);
+  const double m2i = stage.m2i > 0.0 ? stage.m2i : job_->spec.default_m2i;
+  double r = 1.0;
+  if (ready_input_total_ > 0.0) {
+    r = std::min(1.0, usage.input_bytes / ready_input_total_);
+  }
+  usage.memory =
+      std::min(r * job_->spec.declared_memory_bytes, m2i * usage.input_bytes);
+  usage.memory = std::max(usage.memory, 16.0 * 1024 * 1024);
+  return usage;
+}
+
+void JobManager::RemoveFromReady(TaskId t) {
+  auto it = std::find(ready_unplaced_.begin(), ready_unplaced_.end(), t);
+  CHECK(it != ready_unplaced_.end());
+  ready_unplaced_.erase(it);
+  ready_input_total_ -= tasks_[static_cast<size_t>(t)].usage.input_bytes;
+  ready_input_total_ = std::max(ready_input_total_, 0.0);
+}
+
+bool JobManager::PlaceTask(TaskId t, WorkerId worker_id) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.state == TaskState::kReady) << "placing task in state "
+                                       << static_cast<int>(rt.state);
+  const TaskUsage usage = GetUsage(t);
+  Worker& worker = cluster_->worker(worker_id);
+  if (!worker.TryAllocateMemory(usage.memory)) {
+    return false;
+  }
+  rt.state = TaskState::kPlaced;
+  rt.worker = worker_id;
+  rt.allocated_memory = usage.memory;
+  rt.actual_memory = std::min(job_->spec.true_m2i * usage.input_bytes, usage.memory);
+  rt.timing.place_time = sim_->Now();
+  worker.AddActualMemoryUse(rt.actual_memory);
+  RemoveFromReady(t);
+  // Stream the task's root monotasks into the worker's queues.
+  for (MonotaskId m : plan().task(t).monotasks) {
+    if (monotasks_[static_cast<size_t>(m)].remaining_deps == 0) {
+      SubmitMonotask(m);
+    }
+  }
+  return true;
+}
+
+void JobManager::SubmitMonotask(MonotaskId m) {
+  MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+  CHECK(!mrt.submitted);
+  mrt.submitted = true;
+  const MonotaskSpec& mt = plan().monotask(m);
+  const CollapsedOp& cop = plan().cop(mt.cop);
+  const TaskRuntime& trt = tasks_[static_cast<size_t>(mt.task)];
+  CHECK_NE(trt.worker, kInvalidId);
+
+  RunnableMonotask run;
+  run.job = job_->id;
+  run.id = m;
+  run.type = mt.type;
+  run.job_priority = priority_;
+  const double input =
+      UsageEstimator::MonotaskInputBytes(*job_, m, cluster_->metadata(), nullptr);
+  mrt.input_bytes = input;
+  run.input_bytes = input;
+  switch (mt.type) {
+    case ResourceType::kCpu:
+      run.work = cop.cost.fixed_cpu_work + input * cop.cost.cpu_complexity;
+      break;
+    case ResourceType::kDisk:
+      run.work = input;
+      break;
+    case ResourceType::kNetwork:
+      run.pulls = UsageEstimator::ResolvePulls(*job_, m, cluster_->metadata());
+      break;
+  }
+  // Queue ordering within the job (section 4.2.3): stage-major; within a
+  // stage CPU monotasks run largest-first, network/disk smallest-first.
+  if (use_intra_ordering_) {
+    const double stage_major = static_cast<double>(plan().task(mt.task).stage) * 1e15;
+    run.intra_key = stage_major + (mt.type == ResourceType::kCpu ? -input : input);
+  } else {
+    run.intra_key = 0.0;
+  }
+  run.on_complete = [this, m] { OnMonotaskComplete(m); };
+  cluster_->worker(trt.worker).Submit(std::move(run));
+}
+
+void JobManager::Abort() {
+  CHECK(!finished());
+  aborted_ = true;
+  for (const TaskSpec& task : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.state == TaskState::kPlaced) {
+      Worker& worker = cluster_->worker(rt.worker);
+      worker.ReleaseMemory(rt.allocated_memory);
+      worker.AddActualMemoryUse(-rt.actual_memory);
+    }
+  }
+  cluster_->metadata().DropJob(job_->id);
+}
+
+bool JobManager::DependsOnWorker(WorkerId worker) const {
+  for (const TaskSpec& task : plan().tasks()) {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.worker == worker &&
+        (rt.state == TaskState::kPlaced || rt.state == TaskState::kCompleted)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobManager::OnMonotaskComplete(MonotaskId m) {
+  if (aborted_) {
+    return;  // A late completion from before the abort; the restart owns
+             // the job now.
+  }
+  MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+  const MonotaskSpec& mt = plan().monotask(m);
+  TaskRuntime& trt = tasks_[static_cast<size_t>(mt.task)];
+  // Record outputs in the metadata store at this task's worker.
+  for (const OutputRecord& rec :
+       UsageEstimator::ComputeOutputs(*job_, m, mrt.input_bytes)) {
+    cluster_->metadata().Put(job_->id, rec.data, rec.partition, rec.bytes, trt.worker);
+  }
+  remaining_work_[static_cast<size_t>(mt.type)] -= mrt.input_bytes;
+  remaining_work_[static_cast<size_t>(mt.type)] =
+      std::max(remaining_work_[static_cast<size_t>(mt.type)], 0.0);
+  if (mt.type == ResourceType::kCpu) {
+    const CollapsedOp& cop = plan().cop(mt.cop);
+    cpu_seconds_used_ +=
+        (cop.cost.fixed_cpu_work + mrt.input_bytes * cop.cost.cpu_complexity) /
+        cluster_->config().worker.cpu_byte_rate;
+  }
+  listener_->OnMonotaskCompleted(job_->id, mt.type, mrt.input_bytes);
+  // Release newly-runnable monotasks of the same task to the same worker.
+  for (MonotaskId dep : mt.intask_dependents) {
+    MonotaskRuntime& drt = monotasks_[static_cast<size_t>(dep)];
+    CHECK_GT(drt.remaining_deps, 0);
+    if (--drt.remaining_deps == 0) {
+      SubmitMonotask(dep);
+    }
+  }
+  if (--trt.remaining_monotasks == 0) {
+    CompleteTask(mt.task);
+  }
+}
+
+void JobManager::CompleteTask(TaskId t) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.state == TaskState::kPlaced);
+  rt.state = TaskState::kCompleted;
+  rt.timing.finish_time = sim_->Now();
+  Worker& worker = cluster_->worker(rt.worker);
+  worker.ReleaseMemory(rt.allocated_memory);
+  worker.AddActualMemoryUse(-rt.actual_memory);
+  ++completed_tasks_;
+  listener_->OnTaskCompleted(job_->id, t);
+
+  const TaskSpec& spec = plan().task(t);
+  // Async children: same-index tasks of downstream stages.
+  for (TaskId child : spec.async_children) {
+    TaskRuntime& crt = tasks_[static_cast<size_t>(child)];
+    CHECK_GT(crt.remaining_async_parents, 0);
+    if (--crt.remaining_async_parents == 0 && crt.remaining_sync_stages == 0) {
+      MarkReady(child);
+    }
+  }
+  // Stage barrier: when the whole stage is done, release sync children.
+  StageRuntime& srt = stages_[static_cast<size_t>(spec.stage)];
+  CHECK_GT(srt.remaining_tasks, 0);
+  if (--srt.remaining_tasks == 0) {
+    for (StageId child_stage : plan().stage(spec.stage).sync_child_stages) {
+      for (TaskId child : plan().stage(child_stage).tasks) {
+        TaskRuntime& crt = tasks_[static_cast<size_t>(child)];
+        CHECK_GT(crt.remaining_sync_stages, 0);
+        if (--crt.remaining_sync_stages == 0 && crt.remaining_async_parents == 0) {
+          MarkReady(child);
+        }
+      }
+    }
+  }
+  if (finished()) {
+    finish_time_ = sim_->Now();
+    cluster_->metadata().DropJob(job_->id);
+    listener_->OnJobFinished(job_->id);
+  }
+}
+
+}  // namespace ursa

@@ -1,0 +1,159 @@
+// The job manager (JM) of section 4.1.3 / 4.2.1.
+//
+// One JM exists per submitted job. It walks the execution plan at runtime:
+// tracks which tasks are ready (all parent tasks / parent stages completed),
+// reports ready tasks and their estimated resource usage to the scheduler,
+// and - once the scheduler picks a worker - streams the task's monotasks to
+// that worker's per-resource queues exactly when each monotask becomes
+// runnable. Completed monotasks report back, update the metadata store, and
+// release their resources immediately (Obj-1 and Obj-2).
+//
+// The JM also maintains the job's remaining per-resource work vector R used
+// by the SRJF ordering policy.
+#ifndef SRC_EXEC_JOB_MANAGER_H_
+#define SRC_EXEC_JOB_MANAGER_H_
+
+#include <array>
+#include <vector>
+
+#include "src/dag/job.h"
+#include "src/exec/cluster.h"
+#include "src/exec/estimator.h"
+
+namespace ursa {
+
+// Callbacks from a job manager to the scheduling layer / driver.
+class JobManagerListener {
+ public:
+  virtual ~JobManagerListener() = default;
+  virtual void OnTaskReady(JobId job, TaskId task) {}
+  virtual void OnTaskCompleted(JobId job, TaskId task) {}
+  virtual void OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) {}
+  virtual void OnJobFinished(JobId job) {}
+};
+
+enum class TaskState : int {
+  kBlocked = 0,
+  kReady = 1,
+  kPlaced = 2,
+  kCompleted = 3,
+};
+
+class JobManager {
+ public:
+  JobManager(Simulator* sim, Cluster* cluster, Job* job, JobManagerListener* listener);
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  // Resolves initial ready tasks and notifies the listener.
+  void Start();
+
+  // Aborts execution after a worker failure (section 4.3): releases the
+  // memory of in-flight tasks, suppresses outstanding monotask callbacks,
+  // and drops the job's metadata. The scheduler then re-runs the job from
+  // its input checkpoint with a fresh JobManager.
+  void Abort();
+  bool aborted() const { return aborted_; }
+
+  // Whether any incomplete task is placed on `worker`, or any completed
+  // task's outputs live there (either makes a failure of `worker` fatal for
+  // the job).
+  bool DependsOnWorker(WorkerId worker) const;
+
+  Job& job() { return *job_; }
+  const Job& job() const { return *job_; }
+  JobId job_id() const { return job_->id; }
+
+  // --- Scheduler-facing interface. ---
+  // Ready-but-unplaced tasks (the scheduler's placement candidates).
+  const std::vector<TaskId>& ready_tasks() const { return ready_unplaced_; }
+  // Usage estimate for a ready task; per-resource bytes are cached at
+  // ready-time, memory is refreshed against the current ready set.
+  TaskUsage GetUsage(TaskId task) const;
+  // Places a ready task on a worker. Allocates its estimated memory there;
+  // returns false (and leaves the task ready) if the worker lacks memory.
+  bool PlaceTask(TaskId task, WorkerId worker);
+
+  // Job priority used for monotask queue ordering; set by the scheduler.
+  double priority() const { return priority_; }
+  void set_priority(double p) { priority_ = p; }
+
+  // When false, monotasks are enqueued FIFO (intra-job ordering disabled;
+  // the "MO" ablation of Table 6).
+  void set_use_intra_ordering(bool enabled) { use_intra_ordering_ = enabled; }
+
+  // Remaining per-resource work R (bytes), for SRJF (section 4.2.2).
+  const std::array<double, kNumMonotaskResources>& remaining_work() const {
+    return remaining_work_;
+  }
+
+  // --- State inspection. ---
+  bool finished() const { return completed_tasks_ == static_cast<int>(plan().tasks().size()); }
+  int completed_tasks() const { return completed_tasks_; }
+  int total_tasks() const { return static_cast<int>(plan().tasks().size()); }
+  TaskState task_state(TaskId t) const { return tasks_[static_cast<size_t>(t)].state; }
+  WorkerId task_worker(TaskId t) const { return tasks_[static_cast<size_t>(t)].worker; }
+  double finish_time() const { return finish_time_; }
+  // Total CPU-seconds of actual compute the job consumed (for reports).
+  double cpu_seconds_used() const { return cpu_seconds_used_; }
+
+  struct TaskTiming {
+    double ready_time = -1.0;
+    double place_time = -1.0;
+    double finish_time = -1.0;
+  };
+  const TaskTiming& task_timing(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].timing;
+  }
+
+ private:
+  struct TaskRuntime {
+    TaskState state = TaskState::kBlocked;
+    int remaining_async_parents = 0;
+    int remaining_sync_stages = 0;
+    int remaining_monotasks = 0;
+    WorkerId worker = kInvalidId;
+    TaskUsage usage;          // bytes/input cached at ready time.
+    double allocated_memory = 0.0;
+    double actual_memory = 0.0;
+    TaskTiming timing;
+  };
+  struct MonotaskRuntime {
+    int remaining_deps = 0;
+    bool submitted = false;
+    double input_bytes = 0.0;
+  };
+  struct StageRuntime {
+    int remaining_tasks = 0;
+  };
+
+  const ExecutionPlan& plan() const { return job_->plan; }
+  void MarkReady(TaskId t);
+  void SubmitMonotask(MonotaskId m);
+  void OnMonotaskComplete(MonotaskId m);
+  void CompleteTask(TaskId t);
+  void RemoveFromReady(TaskId t);
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  Job* job_;
+  JobManagerListener* listener_;
+
+  std::vector<TaskRuntime> tasks_;
+  std::vector<MonotaskRuntime> monotasks_;
+  std::vector<StageRuntime> stages_;
+  std::vector<TaskId> ready_unplaced_;
+  double ready_input_total_ = 0.0;
+  std::array<double, kNumMonotaskResources> remaining_work_ = {0.0, 0.0, 0.0};
+  double priority_ = 0.0;
+  bool use_intra_ordering_ = true;
+  bool aborted_ = false;
+  int completed_tasks_ = 0;
+  double finish_time_ = -1.0;
+  double cpu_seconds_used_ = 0.0;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_EXEC_JOB_MANAGER_H_

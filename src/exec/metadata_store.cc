@@ -1,0 +1,45 @@
+#include "src/exec/metadata_store.h"
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+void MetadataStore::Put(JobId job, DataId data, int partition, double bytes, WorkerId worker) {
+  PartitionInfo& info = map_[Key(job, data, partition)];
+  info.bytes = bytes;
+  info.worker = worker;
+}
+
+bool MetadataStore::Has(JobId job, DataId data, int partition) const {
+  return map_.find(Key(job, data, partition)) != map_.end();
+}
+
+const PartitionInfo& MetadataStore::Get(JobId job, DataId data, int partition) const {
+  auto it = map_.find(Key(job, data, partition));
+  CHECK(it != map_.end()) << "missing partition metadata: job " << job << " data " << data
+                          << " partition " << partition;
+  return it->second;
+}
+
+double MetadataStore::DatasetBytes(JobId job, DataId data, int partitions) const {
+  double total = 0.0;
+  for (int p = 0; p < partitions; ++p) {
+    auto it = map_.find(Key(job, data, p));
+    if (it != map_.end()) {
+      total += it->second.bytes;
+    }
+  }
+  return total;
+}
+
+void MetadataStore::DropJob(JobId job) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (static_cast<JobId>((it->first >> 40) & 0xFFFFFFu) == job) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ursa

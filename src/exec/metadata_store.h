@@ -1,0 +1,47 @@
+// Metadata store maintained by each job manager (section 4.1.3): records the
+// size and location of every materialized dataset partition so that resource
+// usage of a task is known exactly at the time the task becomes ready.
+#ifndef SRC_EXEC_METADATA_STORE_H_
+#define SRC_EXEC_METADATA_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/dag/types.h"
+
+namespace ursa {
+
+struct PartitionInfo {
+  double bytes = 0.0;
+  WorkerId worker = kInvalidId;
+};
+
+class MetadataStore {
+ public:
+  void Put(JobId job, DataId data, int partition, double bytes, WorkerId worker);
+  bool Has(JobId job, DataId data, int partition) const;
+  const PartitionInfo& Get(JobId job, DataId data, int partition) const;
+
+  // Sum of recorded partition sizes of a dataset.
+  double DatasetBytes(JobId job, DataId data, int partitions) const;
+
+  // Frees all metadata of a finished job.
+  void DropJob(JobId job);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  // Disjoint bit fields: 24 bits job, 20 bits data, 20 bits partition.
+  static uint64_t Key(JobId job, DataId data, int partition) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(job) & 0xFFFFFFu) << 40) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(data) & 0xFFFFFu) << 20) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(partition) & 0xFFFFFu));
+  }
+
+  std::unordered_map<uint64_t, PartitionInfo> map_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_EXEC_METADATA_STORE_H_

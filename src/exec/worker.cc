@@ -1,0 +1,299 @@
+#include "src/exec/worker.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+Worker::Worker(Simulator* sim, FlowSimulator* net, WorkerId id, const WorkerConfig& config)
+    : sim_(sim), net_(net), id_(id), config_(config) {
+  CHECK_GT(config_.cores, 0);
+  CHECK_GT(config_.cpu_byte_rate, 0.0);
+  CHECK_GT(config_.memory_bytes, 0.0);
+  CHECK_GT(config_.disks, 0);
+  CHECK_GT(config_.disk_bytes_per_sec, 0.0);
+  CHECK_GT(config_.network_concurrency, 0);
+  rates_[static_cast<size_t>(ResourceType::kCpu)].rate = config_.cpu_byte_rate;
+  rates_[static_cast<size_t>(ResourceType::kNetwork)].rate = config_.default_net_rate;
+  rates_[static_cast<size_t>(ResourceType::kDisk)].rate = config_.disk_bytes_per_sec;
+}
+
+void Worker::Fail() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  const double now = sim_->Now();
+  // Drain the queues and zero occupancy; scheduled completion events for
+  // in-flight monotasks still fire but OnMonotaskDone suppresses them.
+  for (auto& q : queues_) {
+    while (!q.Empty()) {
+      q.Pop();
+    }
+  }
+  cpu_busy_.Set(now, 0.0);
+  cpu_alloc_.Set(now, 0.0);
+  disk_busy_.Set(now, 0.0);
+  cpu_busy_now_ = 0.0;
+  cpu_alloc_now_ = 0.0;
+  disk_busy_now_ = 0.0;
+  mem_allocated_ = 0.0;
+  mem_actual_ = 0.0;
+  mem_alloc_.Set(now, 0.0);
+  mem_used_.Set(now, 0.0);
+  busy_cores_ = 0;
+  busy_disks_ = 0;
+  active_network_ = 0;
+  for (double& bytes : running_bytes_) {
+    bytes = 0.0;
+  }
+}
+
+void Worker::Submit(RunnableMonotask mt) {
+  if (failed_) {
+    return;  // The scheduler restarts affected jobs (section 4.3).
+  }
+  // Latency-sensitive small network monotasks bypass the queue entirely and
+  // do not consume a concurrency slot (section 4.2.3).
+  if (mt.type == ResourceType::kNetwork &&
+      mt.input_bytes < config_.small_transfer_bypass_bytes) {
+    Execute(std::move(mt), /*counted=*/false);
+    return;
+  }
+  const ResourceType r = mt.type;
+  queue(r).Push(std::move(mt));
+  PumpQueue(r);
+}
+
+void Worker::Reprioritize(const std::function<double(JobId)>& priority_of) {
+  for (auto& q : queues_) {
+    q.Reprioritize(priority_of);
+  }
+}
+
+bool Worker::TryAllocateMemory(double bytes) {
+  CHECK_GE(bytes, 0.0);
+  if (failed_) {
+    return false;
+  }
+  if (mem_allocated_ + bytes > config_.memory_bytes + 1.0) {
+    return false;
+  }
+  mem_allocated_ += bytes;
+  mem_alloc_.Set(sim_->Now(), mem_allocated_);
+  return true;
+}
+
+void Worker::ReleaseMemory(double bytes) {
+  if (failed_) {
+    return;
+  }
+  mem_allocated_ -= bytes;
+  CHECK_GE(mem_allocated_, -1.0) << "memory release underflow";
+  mem_allocated_ = std::max(mem_allocated_, 0.0);
+  mem_alloc_.Set(sim_->Now(), mem_allocated_);
+}
+
+void Worker::AddActualMemoryUse(double delta) {
+  if (failed_) {
+    return;
+  }
+  mem_actual_ += delta;
+  mem_actual_ = std::max(mem_actual_, 0.0);
+  mem_used_.Set(sim_->Now(), mem_actual_);
+}
+
+double Worker::ApproxProcessingTime(ResourceType r) const {
+  if (r == ResourceType::kCpu && HasIdleCpu()) {
+    return 0.0;
+  }
+  const double pending =
+      queue(r).queued_bytes() + running_bytes_[static_cast<size_t>(r)];
+  const double rate = ProcessingRate(r);
+  if (rate <= 0.0) {
+    return pending > 0.0 ? 1e18 : 0.0;
+  }
+  return pending / rate;
+}
+
+double Worker::ProcessingRate(ResourceType r) const {
+  const RateMonitor& mon = rates_[static_cast<size_t>(r)];
+  double rate = mon.rate;
+  if (r == ResourceType::kCpu) {
+    rate *= config_.cores;
+  }
+  return rate;
+}
+
+void Worker::AddCpuBusy(double delta) {
+  if (failed_) {
+    return;
+  }
+  cpu_busy_now_ += delta;
+  cpu_busy_.Set(sim_->Now(), cpu_busy_now_);
+}
+
+void Worker::AddCpuAllocated(double delta) {
+  if (failed_) {
+    return;
+  }
+  cpu_alloc_now_ += delta;
+  cpu_alloc_.Set(sim_->Now(), cpu_alloc_now_);
+}
+
+void Worker::AddDiskBusy(double delta) {
+  if (failed_) {
+    return;
+  }
+  disk_busy_now_ += delta;
+  disk_busy_.Set(sim_->Now(), disk_busy_now_);
+}
+
+void Worker::PumpQueue(ResourceType r) {
+  while (true) {
+    int* counter = nullptr;
+    int limit = 0;
+    switch (r) {
+      case ResourceType::kCpu:
+        counter = &busy_cores_;
+        limit = config_.cores;
+        break;
+      case ResourceType::kNetwork:
+        counter = &active_network_;
+        limit = config_.network_concurrency;
+        break;
+      case ResourceType::kDisk:
+        counter = &busy_disks_;
+        limit = config_.disks;
+        break;
+    }
+    if (*counter >= limit || queue(r).Empty()) {
+      return;
+    }
+    ++*counter;
+    Execute(queue(r).Pop(), /*counted=*/true);
+  }
+}
+
+void Worker::Execute(RunnableMonotask mt, bool counted) {
+  const double now = sim_->Now();
+  const ResourceType r = mt.type;
+  running_bytes_[static_cast<size_t>(r)] += mt.input_bytes;
+  const double input_bytes = mt.input_bytes;
+  std::function<void()> on_complete = std::move(mt.on_complete);
+  switch (r) {
+    case ResourceType::kCpu: {
+      if (counted) {
+        AddCpuBusy(1.0);
+        AddCpuAllocated(1.0);
+      }
+      const double duration = std::max(mt.work, 0.0) / config_.cpu_byte_rate;
+      sim_->Schedule(duration, [this, r, input_bytes, duration, counted,
+                                cb = std::move(on_complete)]() mutable {
+        if (counted) {
+          AddCpuBusy(-1.0);
+          AddCpuAllocated(-1.0);
+        }
+        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb));
+      });
+      break;
+    }
+    case ResourceType::kDisk: {
+      if (counted) {
+        AddDiskBusy(1.0);
+      }
+      const double duration = std::max(mt.work, 0.0) / config_.disk_bytes_per_sec;
+      sim_->Schedule(duration, [this, r, input_bytes, duration, counted,
+                                cb = std::move(on_complete)]() mutable {
+        if (counted) {
+          AddDiskBusy(-1.0);
+        }
+        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb));
+      });
+      break;
+    }
+    case ResourceType::kNetwork: {
+      // Pull from every sender at once (section 4.2.3). The paper's
+      // contention model considers only the receiver's bandwidth, so the
+      // concurrent pulls are represented as one aggregate flow into this
+      // worker; purely local gathers move at the local copy rate.
+      const double start = now;
+      auto finish = [this, r, input_bytes, start, counted,
+                     cb = std::move(on_complete)]() mutable {
+        const double elapsed = sim_->Now() - start;
+        OnMonotaskDone(r, input_bytes, elapsed, counted, std::move(cb));
+      };
+      double remote_bytes = 0.0;
+      double local_bytes = 0.0;
+      WorkerId biggest_src = id_;
+      double biggest = -1.0;
+      for (const RunnableMonotask::Pull& pull : mt.pulls) {
+        if (pull.src == id_) {
+          local_bytes += pull.bytes;
+        } else {
+          remote_bytes += pull.bytes;
+          if (pull.bytes > biggest) {
+            biggest = pull.bytes;
+            biggest_src = pull.src;
+          }
+        }
+      }
+      if (remote_bytes > 0.0) {
+        net_->StartFlow(biggest_src, id_, remote_bytes + local_bytes, std::move(finish));
+      } else if (local_bytes > 0.0) {
+        net_->StartFlow(id_, id_, local_bytes, std::move(finish));
+      } else {
+        sim_->Schedule(0.0, std::move(finish));
+      }
+      break;
+    }
+  }
+}
+
+void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
+                            std::function<void()> on_complete) {
+  if (failed_) {
+    return;  // The result of an in-flight monotask on a failed worker is lost.
+  }
+  running_bytes_[static_cast<size_t>(r)] -= input_bytes;
+  running_bytes_[static_cast<size_t>(r)] =
+      std::max(running_bytes_[static_cast<size_t>(r)], 0.0);
+  ++completed_[static_cast<size_t>(r)];
+  RecordRate(r, input_bytes, elapsed);
+  if (on_complete) {
+    on_complete();
+  }
+  if (counted) {
+    switch (r) {
+      case ResourceType::kCpu:
+        --busy_cores_;
+        break;
+      case ResourceType::kNetwork:
+        --active_network_;
+        break;
+      case ResourceType::kDisk:
+        --busy_disks_;
+        break;
+    }
+    PumpQueue(r);
+  }
+}
+
+void Worker::RecordRate(ResourceType r, double bytes, double elapsed) {
+  RateMonitor& mon = rates_[static_cast<size_t>(r)];
+  mon.acc_bytes += bytes;
+  mon.acc_time += elapsed;
+  const double now = sim_->Now();
+  if (now - mon.window_start >= config_.rate_window) {
+    if (mon.acc_time > 1e-9 && mon.acc_bytes > 0.0) {
+      mon.rate = mon.acc_bytes / mon.acc_time;
+    }
+    mon.acc_bytes = 0.0;
+    mon.acc_time = 0.0;
+    mon.window_start = now;
+  }
+}
+
+}  // namespace ursa

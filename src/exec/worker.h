@@ -1,0 +1,160 @@
+// Simulated worker node.
+//
+// A worker owns the physical resources of one machine (CPU cores, memory,
+// disks; its network links live in the FlowSimulator) and the per-resource
+// monotask queues of section 4.2.3. It executes monotasks as resources free
+// up, enforces concurrency limits (CPU = #cores, disk = 1 per disk, network =
+// a small configurable constant), lets latency-sensitive small network
+// monotasks bypass the queue, and monitors per-resource processing rates
+// that the scheduler uses for APT load estimates (section 4.2.2).
+//
+// Worker also exposes raw occupancy/allocation trackers so the baseline
+// runtimes (executor model, BSP) can account container-granular allocation
+// against the same metrics pipeline.
+#ifndef SRC_EXEC_WORKER_H_
+#define SRC_EXEC_WORKER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/time_series.h"
+#include "src/exec/monotask_queue.h"
+#include "src/net/flow_simulator.h"
+#include "src/sim/simulator.h"
+
+namespace ursa {
+
+struct WorkerConfig {
+  int cores = 32;
+  // Byte-equivalents of CPU work one core processes per second.
+  double cpu_byte_rate = 250e6;
+  double memory_bytes = 128.0 * 1024 * 1024 * 1024;
+  int disks = 1;
+  double disk_bytes_per_sec = 150e6;
+  // Concurrency limit for network monotasks (paper: 1 to 4).
+  int network_concurrency = 2;
+  // Network monotasks smaller than this skip the queue (paper: 16KB).
+  double small_transfer_bypass_bytes = 16.0 * 1024;
+  // Observation window for processing-rate monitoring.
+  double rate_window = 5.0;
+  // Default network processing rate before any measurement (bytes/s); set
+  // this to the downlink bandwidth.
+  double default_net_rate = 1.25e9;
+};
+
+class Worker {
+ public:
+  Worker(Simulator* sim, FlowSimulator* net, WorkerId id, const WorkerConfig& config);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  WorkerId id() const { return id_; }
+  const WorkerConfig& config() const { return config_; }
+
+  // --- Monotask execution path (Ursa). ---
+  void Submit(RunnableMonotask mt);
+  // Re-sorts all queues after job priorities changed (SRJF).
+  void Reprioritize(const std::function<double(JobId)>& priority_of);
+
+  // --- Fault injection (section 4.3). ---
+  // Marks the worker failed: queued monotasks are dropped, in-flight
+  // completions are suppressed, memory accounting is zeroed, and further
+  // submissions are ignored. Utilization trackers stop at the failure time.
+  void Fail();
+  bool failed() const { return failed_; }
+
+  // --- Memory accounting (task granularity). ---
+  bool TryAllocateMemory(double bytes);
+  void ReleaseMemory(double bytes);
+  // Actual consumption, for UE_mem (may be below the allocated estimate).
+  void AddActualMemoryUse(double delta);
+  double free_memory() const { return config_.memory_bytes - mem_allocated_; }
+  double memory_capacity() const { return config_.memory_bytes; }
+
+  // --- Load reporting for the scheduler. ---
+  // APT_r(w): approximate seconds to finish all queued + running type-r
+  // monotasks at the current processing rate. APT_cpu is 0 when the worker
+  // has idle cores (paper section 4.2.2).
+  double ApproxProcessingTime(ResourceType r) const;
+  // Overall processing rate for resource r in bytes/s (CPU rate is per-core
+  // rate times core count).
+  double ProcessingRate(ResourceType r) const;
+  bool HasIdleCpu() const { return busy_cores_ < config_.cores; }
+  int idle_cores() const { return config_.cores - busy_cores_; }
+  size_t QueueLength(ResourceType r) const { return queue(r).Size(); }
+
+  // --- Raw occupancy hooks for baseline runtimes. ---
+  // `delta` cores busy (actual compute) / allocated (container reservation).
+  void AddCpuBusy(double delta);
+  void AddCpuAllocated(double delta);
+  void AddDiskBusy(double delta);
+
+  // --- Metrics access. ---
+  const StepTracker& cpu_busy_tracker() const { return cpu_busy_; }
+  const StepTracker& cpu_alloc_tracker() const { return cpu_alloc_; }
+  const StepTracker& mem_used_tracker() const { return mem_used_; }
+  const StepTracker& mem_alloc_tracker() const { return mem_alloc_; }
+  const StepTracker& disk_busy_tracker() const { return disk_busy_; }
+  const StepTracker& net_rx_tracker() const { return net_->rx_tracker(id_); }
+  double downlink() const { return net_->downlink(id_); }
+
+  // Completed monotask counters (per resource), for tests.
+  int64_t completed(ResourceType r) const {
+    return completed_[static_cast<size_t>(r)];
+  }
+
+ private:
+  struct RateMonitor {
+    double rate = 0.0;          // Last computed rate (bytes/s per "lane").
+    double window_start = 0.0;
+    double acc_bytes = 0.0;
+    double acc_time = 0.0;
+  };
+
+  MonotaskQueue& queue(ResourceType r) { return queues_[static_cast<size_t>(r)]; }
+  const MonotaskQueue& queue(ResourceType r) const {
+    return queues_[static_cast<size_t>(r)];
+  }
+
+  // Starts queued monotasks while concurrency allows.
+  void PumpQueue(ResourceType r);
+  // Runs one monotask (resource already accounted by the caller).
+  void Execute(RunnableMonotask mt, bool counted);
+  void OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
+                      std::function<void()> on_complete);
+  void RecordRate(ResourceType r, double bytes, double elapsed);
+
+  Simulator* sim_;
+  FlowSimulator* net_;
+  WorkerId id_;
+  WorkerConfig config_;
+
+  MonotaskQueue queues_[kNumMonotaskResources];
+  bool failed_ = false;
+  int busy_cores_ = 0;
+  int busy_disks_ = 0;
+  int active_network_ = 0;
+  double running_bytes_[kNumMonotaskResources] = {0.0, 0.0, 0.0};
+  int64_t completed_[kNumMonotaskResources] = {0, 0, 0};
+
+  double mem_allocated_ = 0.0;
+  double mem_actual_ = 0.0;
+
+  RateMonitor rates_[kNumMonotaskResources];
+
+  StepTracker cpu_busy_;
+  StepTracker cpu_alloc_;
+  StepTracker mem_used_;
+  StepTracker mem_alloc_;
+  StepTracker disk_busy_;
+  // Extra cpu busy/alloc contributed by baseline runtimes, tracked inside
+  // the same StepTrackers; these doubles mirror current values.
+  double cpu_busy_now_ = 0.0;
+  double cpu_alloc_now_ = 0.0;
+  double disk_busy_now_ = 0.0;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_EXEC_WORKER_H_

@@ -1,0 +1,122 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace ursa {
+
+EfficiencyReport MetricsCollector::Compute(const Cluster& cluster,
+                                           const std::vector<JobRecord>& jobs, double t0,
+                                           double t1) {
+  EfficiencyReport report;
+  report.jobs = static_cast<int>(jobs.size());
+  CHECK_GT(t1, t0);
+  const double window = t1 - t0;
+  report.makespan = window;
+
+  double jct_sum = 0.0;
+  for (const JobRecord& job : jobs) {
+    jct_sum += job.jct();
+  }
+  report.avg_jct = jobs.empty() ? 0.0 : jct_sum / static_cast<double>(jobs.size());
+
+  // Core/memory time integrals across workers.
+  double busy_cpu = 0.0;
+  double alloc_cpu = 0.0;
+  double used_mem = 0.0;
+  double alloc_mem = 0.0;
+  double total_cpu = 0.0;
+  double total_mem = 0.0;
+  std::vector<double> worker_cpu_util;
+  std::vector<double> worker_net_util;
+  for (int w = 0; w < cluster.size(); ++w) {
+    const Worker& worker = cluster.worker(w);
+    busy_cpu += worker.cpu_busy_tracker().Integral(t0, t1);
+    alloc_cpu += worker.cpu_alloc_tracker().Integral(t0, t1);
+    used_mem += worker.mem_used_tracker().Integral(t0, t1);
+    alloc_mem += worker.mem_alloc_tracker().Integral(t0, t1);
+    total_cpu += worker.config().cores * window;
+    total_mem += worker.memory_capacity() * window;
+    worker_cpu_util.push_back(100.0 * worker.cpu_busy_tracker().Average(t0, t1) /
+                              worker.config().cores);
+    worker_net_util.push_back(100.0 * worker.net_rx_tracker().Average(t0, t1) /
+                              worker.downlink());
+  }
+  report.se_cpu = total_cpu > 0.0 ? 100.0 * alloc_cpu / total_cpu : 0.0;
+  report.ue_cpu = alloc_cpu > 0.0 ? 100.0 * busy_cpu / alloc_cpu : 0.0;
+  report.se_mem = total_mem > 0.0 ? 100.0 * alloc_mem / total_mem : 0.0;
+  report.ue_mem = alloc_mem > 0.0 ? 100.0 * used_mem / alloc_mem : 0.0;
+  report.cpu_imbalance = MeanAbsoluteDeviation(worker_cpu_util);
+  report.net_imbalance = MeanAbsoluteDeviation(worker_net_util);
+  return report;
+}
+
+MetricsCollector::UtilizationSeries MetricsCollector::Sample(const Cluster& cluster,
+                                                             double t0, double t1,
+                                                             double step) {
+  UtilizationSeries series;
+  series.t0 = t0;
+  series.step = step;
+  if (t1 <= t0) {
+    return series;
+  }
+  const size_t n = static_cast<size_t>(std::ceil((t1 - t0) / step));
+  series.cpu.assign(n, 0.0);
+  series.mem.assign(n, 0.0);
+  series.net.assign(n, 0.0);
+  double cpu_capacity = 0.0;
+  double mem_capacity = 0.0;
+  double net_capacity = 0.0;
+  for (int w = 0; w < cluster.size(); ++w) {
+    const Worker& worker = cluster.worker(w);
+    cpu_capacity += worker.config().cores;
+    mem_capacity += worker.memory_capacity();
+    net_capacity += worker.downlink();
+    const auto cpu = worker.cpu_busy_tracker().Resample(t0, t1, step);
+    const auto mem = worker.mem_used_tracker().Resample(t0, t1, step);
+    const auto net = worker.net_rx_tracker().Resample(t0, t1, step);
+    for (size_t i = 0; i < n; ++i) {
+      series.cpu[i] += i < cpu.size() ? cpu[i] : 0.0;
+      series.mem[i] += i < mem.size() ? mem[i] : 0.0;
+      series.net[i] += i < net.size() ? net[i] : 0.0;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    series.cpu[i] = 100.0 * series.cpu[i] / cpu_capacity;
+    series.mem[i] = 100.0 * series.mem[i] / mem_capacity;
+    series.net[i] = 100.0 * series.net[i] / net_capacity;
+  }
+  return series;
+}
+
+double MetricsCollector::StragglerTimeRatio(
+    const std::vector<std::vector<std::vector<double>>>& stage_task_times,
+    const std::vector<double>& jcts) {
+  CHECK_EQ(stage_task_times.size(), jcts.size());
+  if (jcts.empty()) {
+    return 0.0;
+  }
+  double ratio_sum = 0.0;
+  for (size_t j = 0; j < jcts.size(); ++j) {
+    double straggler_time = 0.0;
+    for (const std::vector<double>& stage : stage_task_times[j]) {
+      if (stage.size() < 4) {
+        continue;  // IQR is meaningless for tiny stages.
+      }
+      const double threshold = OutlierThreshold(stage);
+      const double last = *std::max_element(stage.begin(), stage.end());
+      if (last > threshold) {
+        straggler_time += last - threshold;
+      }
+    }
+    if (jcts[j] > 0.0) {
+      ratio_sum += straggler_time / jcts[j];
+    }
+  }
+  return 100.0 * ratio_sum / static_cast<double>(jcts.size());
+}
+
+}  // namespace ursa

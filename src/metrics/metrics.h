@@ -1,0 +1,77 @@
+// Cluster-level metrics (section 5, "Performance metrics").
+//
+// Definitions from the paper: with X the allocated core/memory time, Y the
+// total core/memory time (capacity times makespan) and Z the actually
+// utilized time, scheduling efficiency SE = X / Y and utilization efficiency
+// UE = Z / X. The average cluster utilization equals SE * UE. We compute all
+// three from the workers' StepTrackers, plus makespan, average JCT, the
+// straggler measure of section 5.1.2 (Q3 + 1.5 IQR outlier threshold per
+// stage) and the cross-worker utilization imbalance.
+#ifndef SRC_METRICS_METRICS_H_
+#define SRC_METRICS_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/cluster.h"
+
+namespace ursa {
+
+struct EfficiencyReport {
+  double makespan = 0.0;
+  double avg_jct = 0.0;
+  double ue_cpu = 0.0;   // Percent.
+  double se_cpu = 0.0;   // Percent.
+  double ue_mem = 0.0;   // Percent.
+  double se_mem = 0.0;   // Percent.
+  // Mean absolute deviation of per-worker average CPU utilization (percent
+  // points); the paper reports ~2% for Ursa vs 16-21% for Y+S.
+  double cpu_imbalance = 0.0;
+  double net_imbalance = 0.0;
+  int jobs = 0;
+};
+
+// Per-job record every scheduler implementation fills in, shared so the
+// experiment driver can compare schemes uniformly.
+struct JobRecord {
+  JobId id = kInvalidId;
+  std::string name;
+  std::string klass;
+  double submit_time = 0.0;
+  double admit_time = -1.0;
+  double finish_time = -1.0;
+  double cpu_seconds = 0.0;
+  double jct() const { return finish_time - submit_time; }
+};
+
+class MetricsCollector {
+ public:
+  // Computes cluster efficiency over [t0, t1] (typically 0 .. makespan).
+  static EfficiencyReport Compute(const Cluster& cluster, const std::vector<JobRecord>& jobs,
+                                  double t0, double t1);
+
+  // Cluster-aggregated utilization series in percent (cpu, mem, net),
+  // resampled at `step` over [t0, t1].
+  struct UtilizationSeries {
+    double t0 = 0.0;
+    double step = 0.0;
+    std::vector<double> cpu;
+    std::vector<double> mem;
+    std::vector<double> net;
+  };
+  static UtilizationSeries Sample(const Cluster& cluster, double t0, double t1, double step);
+
+  // Straggler analysis (section 5.1.2): per stage, tasks finishing later
+  // than Q3 + 1.5 IQR of the stage's task completion times are stragglers;
+  // the stage's straggler time is the last completion minus the threshold.
+  // Returns the average over jobs of (total straggler time / JCT), percent.
+  // `stage_task_times[j]` holds, for job j, one vector of task completion
+  // times per stage.
+  static double StragglerTimeRatio(
+      const std::vector<std::vector<std::vector<double>>>& stage_task_times,
+      const std::vector<double>& jcts);
+};
+
+}  // namespace ursa
+
+#endif  // SRC_METRICS_METRICS_H_

@@ -1,0 +1,224 @@
+#include "src/net/flow_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+namespace {
+// Completion times closer together than this are treated as simultaneous to
+// avoid event storms from floating-point residue.
+constexpr double kTimeEpsilon = 1e-9;
+}  // namespace
+
+FlowSimulator::FlowSimulator(Simulator* sim, int num_nodes, double uplink_bytes_per_sec,
+                             double downlink_bytes_per_sec)
+    : sim_(sim) {
+  CHECK_GT(num_nodes, 0);
+  CHECK_GT(uplink_bytes_per_sec, 0.0);
+  CHECK_GT(downlink_bytes_per_sec, 0.0);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  for (auto& node : nodes_) {
+    node.up = uplink_bytes_per_sec;
+    node.down = downlink_bytes_per_sec;
+  }
+}
+
+void FlowSimulator::SetNodeBandwidth(int node, double uplink_bytes_per_sec,
+                                     double downlink_bytes_per_sec) {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, num_nodes());
+  nodes_[static_cast<size_t>(node)].up = uplink_bytes_per_sec;
+  nodes_[static_cast<size_t>(node)].down = downlink_bytes_per_sec;
+  Reschedule();
+}
+
+FlowId FlowSimulator::StartFlow(int src, int dst, double bytes,
+                                std::function<void()> on_complete) {
+  CHECK_GE(src, 0);
+  CHECK_LT(src, num_nodes());
+  CHECK_GE(dst, 0);
+  CHECK_LT(dst, num_nodes());
+  CHECK_GE(bytes, 0.0);
+  const FlowId id = next_id_++;
+  Flow flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.remaining = std::max(bytes, 1.0);  // Zero-byte flows take one "byte".
+  flow.on_complete = std::move(on_complete);
+  flows_.emplace(id, std::move(flow));
+  Reschedule();
+  return id;
+}
+
+void FlowSimulator::CancelFlow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  AdvanceProgress();
+  flows_.erase(it);
+  Reschedule();
+}
+
+double FlowSimulator::NodeRxRate(int node) const {
+  double rate = 0.0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.dst == node && flow.src != flow.dst) {
+      rate += flow.rate;
+    }
+  }
+  return rate;
+}
+
+double FlowSimulator::FlowRateForTest(FlowId id) const {
+  auto it = flows_.find(id);
+  CHECK(it != flows_.end());
+  return it->second.rate;
+}
+
+void FlowSimulator::AdvanceProgress() {
+  const double now = sim_->Now();
+  const double dt = now - last_progress_time_;
+  if (dt > 0.0) {
+    for (auto& [id, flow] : flows_) {
+      const double moved = std::min(flow.remaining, flow.rate * dt);
+      flow.remaining -= moved;
+      total_delivered_ += moved;
+    }
+  }
+  last_progress_time_ = now;
+}
+
+void FlowSimulator::ComputeRates() {
+  // Progressive filling: repeatedly find the most-contended link, freeze its
+  // flows at the fair share, remove the capacity, iterate.
+  const size_t n = nodes_.size();
+  std::vector<double> up_cap(n);
+  std::vector<double> down_cap(n);
+  std::vector<int> up_count(n, 0);
+  std::vector<int> down_count(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    up_cap[i] = nodes_[i].up;
+    down_cap[i] = nodes_[i].down;
+  }
+  std::vector<std::pair<FlowId, Flow*>> remote;
+  for (auto& [id, flow] : flows_) {
+    if (flow.src == flow.dst) {
+      flow.rate = local_copy_rate_;
+      continue;
+    }
+    flow.rate = 0.0;
+    remote.emplace_back(id, &flow);
+    ++up_count[static_cast<size_t>(flow.src)];
+    ++down_count[static_cast<size_t>(flow.dst)];
+  }
+
+  std::vector<bool> frozen(remote.size(), false);
+  size_t active = remote.size();
+  while (active > 0) {
+    // Find the bottleneck link: the link with minimal capacity per unfrozen
+    // flow crossing it.
+    double min_share = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (enforce_uplinks_ && up_count[i] > 0) {
+        min_share = std::min(min_share, up_cap[i] / up_count[i]);
+      }
+      if (down_count[i] > 0) {
+        min_share = std::min(min_share, down_cap[i] / down_count[i]);
+      }
+    }
+    CHECK(std::isfinite(min_share));
+    // Freeze every unfrozen flow crossing a bottleneck link at min_share.
+    bool froze_any = false;
+    for (size_t f = 0; f < remote.size(); ++f) {
+      if (frozen[f]) {
+        continue;
+      }
+      Flow* flow = remote[f].second;
+      const size_t s = static_cast<size_t>(flow->src);
+      const size_t d = static_cast<size_t>(flow->dst);
+      const double up_share = enforce_uplinks_
+                                  ? up_cap[s] / up_count[s]
+                                  : std::numeric_limits<double>::infinity();
+      const double down_share = down_cap[d] / down_count[d];
+      if (std::min(up_share, down_share) <= min_share * (1.0 + 1e-12)) {
+        flow->rate = min_share;
+        frozen[f] = true;
+        froze_any = true;
+        up_cap[s] -= min_share;
+        down_cap[d] -= min_share;
+        --up_count[s];
+        --down_count[d];
+        --active;
+      }
+    }
+    CHECK(froze_any) << "progressive filling failed to converge";
+  }
+}
+
+void FlowSimulator::Reschedule() {
+  AdvanceProgress();
+  if (completion_event_ != kInvalidEventId) {
+    sim_->Cancel(completion_event_);
+    completion_event_ = kInvalidEventId;
+  }
+  if (flows_.empty()) {
+    UpdateRxTrackers();
+    return;
+  }
+  ComputeRates();
+  UpdateRxTrackers();
+  double next_dt = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate > 0.0) {
+      next_dt = std::min(next_dt, flow.remaining / flow.rate);
+    }
+  }
+  CHECK(std::isfinite(next_dt)) << "active flows but no positive rate";
+  completion_event_ = sim_->Schedule(std::max(next_dt, 0.0), [this] { OnNextCompletion(); });
+}
+
+void FlowSimulator::OnNextCompletion() {
+  completion_event_ = kInvalidEventId;
+  AdvanceProgress();
+  // Collect every flow that has (numerically) finished.
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    const double eta = flow.rate > 0.0 ? flow.remaining / flow.rate
+                                       : std::numeric_limits<double>::infinity();
+    if (flow.remaining <= 1e-6 || eta <= kTimeEpsilon) {
+      total_delivered_ += flow.remaining;
+      done.push_back(std::move(flow.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  // Callbacks run after rates are consistent; they may start new flows.
+  for (auto& cb : done) {
+    if (cb) {
+      cb();
+    }
+  }
+}
+
+void FlowSimulator::UpdateRxTrackers() {
+  const double now = sim_->Now();
+  std::vector<double> rx(nodes_.size(), 0.0);
+  for (const auto& [id, flow] : flows_) {
+    if (flow.src != flow.dst) {
+      rx[static_cast<size_t>(flow.dst)] += flow.rate;
+    }
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].rx_tracker.Set(now, rx[i]);
+  }
+}
+
+}  // namespace ursa

@@ -1,0 +1,28 @@
+#include "src/scheduler/job_ordering.h"
+
+#include <algorithm>
+
+namespace ursa {
+
+double SrjfRank(const std::array<double, kNumMonotaskResources>& remaining,
+                const std::array<double, kNumMonotaskResources>& cluster_load) {
+  double rank = 0.0;
+  for (size_t r = 0; r < remaining.size(); ++r) {
+    if (cluster_load[r] <= 0.0) {
+      continue;
+    }
+    const double rho = std::clamp(remaining[r] / cluster_load[r], 0.0, 1.0);
+    rank += (2.0 - rho) * rho;
+  }
+  return rank;
+}
+
+double PlacementPriorityBonus(OrderingPolicy policy, double weight, double elapsed,
+                              double srjf_rank) {
+  if (policy == OrderingPolicy::kEjf) {
+    return weight * elapsed;
+  }
+  return weight / (srjf_rank + 1e-3);
+}
+
+}  // namespace ursa

@@ -1,0 +1,43 @@
+// Job ordering policies (section 4.2.2, "Job ordering").
+//
+// Ursa supports Earliest Job First (EJF) and Smallest Remaining Job First
+// (SRJF). Both are enforced in three places: job admission order, a weighted
+// term added to the placement score of each stage, and the ordering of
+// monotasks in worker queues. This header provides the rank computations;
+// the scheduler wires them into those three mechanisms.
+#ifndef SRC_SCHEDULER_JOB_ORDERING_H_
+#define SRC_SCHEDULER_JOB_ORDERING_H_
+
+#include <array>
+
+#include "src/dag/types.h"
+
+namespace ursa {
+
+enum class OrderingPolicy : int {
+  kEjf = 0,
+  kSrjf = 1,
+};
+
+inline const char* OrderingPolicyName(OrderingPolicy p) {
+  return p == OrderingPolicy::kEjf ? "EJF" : "SRJF";
+}
+
+// SRJF rank of a job: the dot product of (2L - R) and R with both sides
+// normalized by the cluster load L, i.e. sum_r (2 - R[r]/L[r]) * (R[r]/L[r]).
+// R is the job's remaining per-resource work, L the total remaining work of
+// all admitted jobs. Smaller rank = less remaining work relative to the
+// contended resources = scheduled first. When a resource r is heavily
+// demanded (large L[r] share), it receives more weight, matching the paper's
+// intuition. Resources with L[r] == 0 contribute nothing.
+double SrjfRank(const std::array<double, kNumMonotaskResources>& remaining,
+                const std::array<double, kNumMonotaskResources>& cluster_load);
+
+// Priority *bonus* added to a stage's placement score for this job.
+// EJF: W * elapsed-since-submission. SRJF: W / (rank + epsilon).
+double PlacementPriorityBonus(OrderingPolicy policy, double weight, double elapsed,
+                              double srjf_rank);
+
+}  // namespace ursa
+
+#endif  // SRC_SCHEDULER_JOB_ORDERING_H_

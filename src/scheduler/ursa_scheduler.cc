@@ -1,0 +1,474 @@
+#include "src/scheduler/ursa_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+namespace {
+// Guard against pathological candidate explosions in a single tick.
+constexpr size_t kMaxScoredPairsPerTick = 2'000'000;
+}  // namespace
+
+UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
+                             const UrsaSchedulerConfig& config)
+    : sim_(sim), cluster_(cluster), config_(config) {
+  CHECK_GT(config_.scheduling_interval, 0.0);
+  CHECK_GE(config_.ept_slack, 1.0);
+  if (config_.placement != PlacementAlgorithm::kAlgorithm1) {
+    packing_ = std::make_unique<PackingState>(cluster, config_.placement);
+  }
+}
+
+UrsaScheduler::~UrsaScheduler() = default;
+
+void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
+  CHECK_EQ(job->id, static_cast<JobId>(jobs_.size()))
+      << "jobs must be submitted with dense sequential ids";
+  job->submit_time = sim_->Now();
+  JobRecord record;
+  record.id = job->id;
+  record.name = job->spec.name;
+  record.klass = job->spec.klass;
+  record.submit_time = sim_->Now();
+  records_.push_back(std::move(record));
+
+  auto entry = std::make_unique<JobEntry>();
+  entry->job = std::move(job);
+  waiting_admission_.push_back(entry->job->id);
+  jobs_.push_back(std::move(entry));
+  ++total_jobs_;
+  TryAdmitJobs();
+  EnsureTickScheduled();
+}
+
+const JobManager* UrsaScheduler::job_manager(JobId id) const {
+  const JobEntry& entry = *jobs_[static_cast<size_t>(id)];
+  return entry.jm.get();
+}
+
+int UrsaScheduler::FailWorker(WorkerId worker_id) {
+  Worker& worker = cluster_->worker(worker_id);
+  if (worker.failed()) {
+    return 0;
+  }
+  worker.Fail();
+  int restarted = 0;
+  for (auto& entry : jobs_) {
+    if (!entry->admitted || entry->finished || !entry->jm->DependsOnWorker(worker_id)) {
+      continue;
+    }
+    // Restart from the input checkpoint with a fresh job manager; the
+    // admission reservation carries over.
+    entry->jm->Abort();
+    aborted_jms_.push_back(std::move(entry->jm));
+    entry->jm = std::make_unique<JobManager>(sim_, cluster_, entry->job.get(), this);
+    entry->jm->set_use_intra_ordering(config_.enable_monotask_ordering);
+    entry->jm->set_priority(config_.enable_monotask_ordering ? entry->job->submit_time : 0.0);
+    entry->jm->Start();
+    ++restarted;
+  }
+  total_restarts_ += restarted;
+  EnsureTickScheduled();
+  return restarted;
+}
+
+void UrsaScheduler::OnTaskReady(JobId job, TaskId task) {
+  placement_dirty_ = true;
+  EnsureTickScheduled();
+}
+
+void UrsaScheduler::OnTaskCompleted(JobId job, TaskId task) {
+  if (packing_ != nullptr) {
+    packing_->Release(job, task);
+  }
+}
+
+void UrsaScheduler::OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) {}
+
+void UrsaScheduler::OnJobFinished(JobId job_id) {
+  JobEntry& entry = *jobs_[static_cast<size_t>(job_id)];
+  CHECK(entry.admitted && !entry.finished);
+  entry.finished = true;
+  reserved_memory_ -= entry.job->spec.declared_memory_bytes;
+  reserved_memory_ = std::max(reserved_memory_, 0.0);
+  --active_jobs_;
+  ++finished_jobs_;
+  JobRecord& record = records_[static_cast<size_t>(job_id)];
+  record.finish_time = sim_->Now();
+  record.cpu_seconds = entry.jm->cpu_seconds_used();
+  TryAdmitJobs();
+}
+
+void UrsaScheduler::EnsureTickScheduled() {
+  if (tick_scheduled_) {
+    return;
+  }
+  tick_scheduled_ = true;
+  sim_->Schedule(config_.scheduling_interval, [this] { Tick(); });
+}
+
+void UrsaScheduler::Tick() {
+  tick_scheduled_ = false;
+  TryAdmitJobs();
+  RefreshPriorities();
+  RunPlacement();
+  if (active_jobs_ > 0 || !waiting_admission_.empty()) {
+    EnsureTickScheduled();
+  }
+}
+
+void UrsaScheduler::TryAdmitJobs() {
+  if (waiting_admission_.empty()) {
+    return;
+  }
+  // Admission order follows the job-ordering policy when JO is enabled,
+  // otherwise plain submission order.
+  if (config_.enable_job_ordering && config_.policy == OrderingPolicy::kSrjf) {
+    // Rank by expected remaining work against the total load of admitted +
+    // waiting jobs.
+    std::array<double, kNumMonotaskResources> total_load = {0.0, 0.0, 0.0};
+    for (const auto& entry : jobs_) {
+      if (entry->finished) {
+        continue;
+      }
+      const auto work = entry->admitted ? entry->jm->remaining_work()
+                                        : entry->job->plan.ExpectedWorkByResource();
+      for (size_t r = 0; r < work.size(); ++r) {
+        total_load[r] += work[r];
+      }
+    }
+    std::stable_sort(waiting_admission_.begin(), waiting_admission_.end(),
+                     [&](JobId a, JobId b) {
+                       const auto ra = jobs_[static_cast<size_t>(a)]
+                                           ->job->plan.ExpectedWorkByResource();
+                       const auto rb = jobs_[static_cast<size_t>(b)]
+                                           ->job->plan.ExpectedWorkByResource();
+                       return SrjfRank(ra, total_load) < SrjfRank(rb, total_load);
+                     });
+  } else {
+    std::stable_sort(waiting_admission_.begin(), waiting_admission_.end(),
+                     [&](JobId a, JobId b) {
+                       return jobs_[static_cast<size_t>(a)]->job->submit_time <
+                              jobs_[static_cast<size_t>(b)]->job->submit_time;
+                     });
+  }
+  const double memory_budget =
+      cluster_->total_memory() * config_.admission_memory_fraction;
+  // Strict head-of-line admission prevents starvation of large jobs.
+  while (!waiting_admission_.empty()) {
+    const JobId id = waiting_admission_.front();
+    JobEntry& entry = *jobs_[static_cast<size_t>(id)];
+    if (reserved_memory_ + entry.job->spec.declared_memory_bytes > memory_budget) {
+      break;
+    }
+    waiting_admission_.erase(waiting_admission_.begin());
+    reserved_memory_ += entry.job->spec.declared_memory_bytes;
+    entry.admitted = true;
+    ++active_jobs_;
+    records_[static_cast<size_t>(id)].admit_time = sim_->Now();
+    entry.jm = std::make_unique<JobManager>(sim_, cluster_, entry.job.get(), this);
+    entry.jm->set_use_intra_ordering(config_.enable_monotask_ordering);
+    // EJF queue priority: admission (submission) order. SRJF ranks are
+    // refreshed every tick.
+    entry.jm->set_priority(config_.enable_monotask_ordering
+                               ? entry.job->submit_time
+                               : 0.0);
+    entry.jm->Start();
+  }
+}
+
+void UrsaScheduler::RefreshPriorities() {
+  if (config_.policy != OrderingPolicy::kSrjf) {
+    return;
+  }
+  std::array<double, kNumMonotaskResources> load = {0.0, 0.0, 0.0};
+  for (const auto& entry : jobs_) {
+    if (entry->admitted && !entry->finished) {
+      const auto& r = entry->jm->remaining_work();
+      for (size_t i = 0; i < r.size(); ++i) {
+        load[i] += r[i];
+      }
+    }
+  }
+  bool changed = false;
+  for (const auto& entry : jobs_) {
+    if (!entry->admitted || entry->finished) {
+      continue;
+    }
+    const double rank = SrjfRank(entry->jm->remaining_work(), load);
+    if (std::abs(rank - entry->srjf_rank) > 1e-6) {
+      changed = true;
+    }
+    entry->srjf_rank = rank;
+    if (config_.enable_monotask_ordering) {
+      entry->jm->set_priority(rank);
+    }
+  }
+  if (changed && config_.enable_monotask_ordering) {
+    auto priority_of = [this](JobId id) {
+      return jobs_[static_cast<size_t>(id)]->srjf_rank;
+    };
+    for (int w = 0; w < cluster_->size(); ++w) {
+      cluster_->worker(w).Reprioritize(priority_of);
+    }
+  }
+}
+
+std::vector<UrsaScheduler::WorkerLoad> UrsaScheduler::SnapshotLoads() const {
+  const double ept = config_.scheduling_interval * config_.ept_slack;
+  std::vector<WorkerLoad> loads(static_cast<size_t>(cluster_->size()));
+  for (int w = 0; w < cluster_->size(); ++w) {
+    const Worker& worker = cluster_->worker(w);
+    WorkerLoad& load = loads[static_cast<size_t>(w)];
+    if (worker.failed()) {
+      load.memory_capacity = worker.memory_capacity();
+      continue;  // All-zero headroom: never selected.
+    }
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      const auto type = static_cast<ResourceType>(r);
+      const double apt = worker.ApproxProcessingTime(type);
+      load.apt[r] = apt;
+      load.d[r] = std::max(0.0, (ept - apt) / ept);
+      load.rate[r] = worker.ProcessingRate(type);
+    }
+    load.free_memory = worker.free_memory();
+    load.memory_capacity = worker.memory_capacity();
+    load.d[static_cast<size_t>(ResourceDim::kMemory)] =
+        worker.free_memory() / worker.memory_capacity();
+  }
+  return loads;
+}
+
+bool UrsaScheduler::BestWorker(const TaskUsage& usage, const std::vector<WorkerLoad>& loads,
+                               double ept, WorkerId* out_worker, double* out_score) const {
+  // The D_r == 0 skip rule (section 4.2.2) only helps while some worker
+  // still has headroom in r to steer toward; when the whole cluster is
+  // backlogged on r, refusing every worker would merely idle the other
+  // resources, so the rule is suspended for that dimension.
+  bool any_headroom[kNumMonotaskResources] = {false, false, false};
+  for (const WorkerLoad& load : loads) {
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      any_headroom[r] = any_headroom[r] || load.d[r] > 0.0;
+    }
+  }
+  double best_score = -1.0;
+  WorkerId best = kInvalidId;
+  for (size_t w = 0; w < loads.size(); ++w) {
+    const WorkerLoad& load = loads[w];
+    if (usage.memory > load.free_memory) {
+      continue;
+    }
+    bool blocked = false;
+    double score = 0.0;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      if (!config_.consider_network && static_cast<ResourceType>(r) == ResourceType::kNetwork) {
+        continue;
+      }
+      if (usage.bytes[r] <= 0.0) {
+        continue;
+      }
+      double inc = usage.bytes[r] / std::max(load.rate[r], 1.0) / ept;
+      if (load.d[r] <= 0.0 && any_headroom[r]) {
+        // Assigning t here would block on resource r (section 4.2.2).
+        blocked = true;
+        break;
+      }
+      inc = std::min(inc, load.d[r]);
+      score += load.d[r] * inc;
+    }
+    if (blocked) {
+      continue;
+    }
+    // Memory dimension, normalized by capacity so all dims are O(1).
+    const double d_mem = load.d[static_cast<size_t>(ResourceDim::kMemory)];
+    if (d_mem <= 0.0) {
+      continue;
+    }
+    const double inc_mem = std::min(usage.memory / load.memory_capacity, d_mem);
+    score += d_mem * inc_mem;
+    // Saturation tie-breaker: among equally (un)attractive workers, prefer
+    // the one whose queues for the task's resources are shortest.
+    double backlog = 0.0;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      if (usage.bytes[r] > 0.0) {
+        backlog += load.apt[r];
+      }
+    }
+    score += 1e-4 / (1.0 + backlog);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<WorkerId>(w);
+    }
+  }
+  if (best == kInvalidId) {
+    return false;
+  }
+  *out_worker = best;
+  *out_score = best_score;
+  return true;
+}
+
+void UrsaScheduler::ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load) {
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    const double inc = usage.bytes[r] / std::max(load->rate[r], 1.0) / ept;
+    load->d[r] = std::max(0.0, load->d[r] - inc);
+    load->apt[r] += inc * ept;
+  }
+  load->free_memory = std::max(0.0, load->free_memory - usage.memory);
+  const size_t mem = static_cast<size_t>(ResourceDim::kMemory);
+  load->d[mem] = load->free_memory / load->memory_capacity;
+}
+
+UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(const JobEntry& entry, StageId stage,
+                                                   const std::vector<TaskId>& tasks,
+                                                   std::vector<WorkerLoad> loads,
+                                                   double ept) const {
+  StagePlan plan;
+  plan.job = entry.job->id;
+  plan.stage = stage;
+  plan.complete = true;
+  double score_sum = 0.0;
+  for (TaskId t : tasks) {
+    const TaskUsage usage = entry.jm->GetUsage(t);
+    WorkerId w = kInvalidId;
+    double f = 0.0;
+    if (!BestWorker(usage, loads, ept, &w, &f)) {
+      plan.complete = false;  // stage_bonus <- 0 in Algorithm 1.
+      continue;
+    }
+    plan.assignments.emplace_back(t, w);
+    score_sum += f;
+    ApplyToLoad(usage, ept, &loads[static_cast<size_t>(w)]);
+  }
+  if (plan.assignments.empty()) {
+    plan.score = -std::numeric_limits<double>::infinity();
+    return plan;
+  }
+  plan.score = score_sum / static_cast<double>(plan.assignments.size());
+  if (config_.stage_aware && plan.complete) {
+    plan.score += config_.stage_bonus;
+  }
+  if (config_.enable_job_ordering) {
+    plan.score += PlacementPriorityBonus(config_.policy, config_.priority_weight,
+                                         sim_->Now() - entry.job->submit_time,
+                                         entry.srjf_rank);
+  }
+  return plan;
+}
+
+void UrsaScheduler::RunPackingPlacement() {
+  // Tetris / Tetris2 / Capacity (section 5.1.2): jobs in policy order,
+  // stages FIFO, each task reserved at its peak demand until completion.
+  bool placed_any = true;
+  while (placed_any) {
+    placed_any = false;
+    for (const auto& entry : jobs_) {
+      if (!entry->admitted || entry->finished) {
+        continue;
+      }
+      // Copy: PlaceTask mutates the ready list.
+      const std::vector<TaskId> ready = entry->jm->ready_tasks();
+      for (TaskId t : ready) {
+        const TaskUsage usage = entry->jm->GetUsage(t);
+        const WorkerId w = packing_->SelectWorker(usage);
+        if (w == kInvalidId) {
+          continue;
+        }
+        if (entry->jm->PlaceTask(t, w)) {
+          packing_->Reserve(entry->job->id, t, w, usage);
+          placed_any = true;
+        }
+      }
+    }
+  }
+}
+
+void UrsaScheduler::RunPlacement() {
+  if (packing_ != nullptr) {
+    RunPackingPlacement();
+    return;
+  }
+  const double ept = config_.scheduling_interval * config_.ept_slack;
+  std::vector<WorkerLoad> master = SnapshotLoads();
+
+  // Gather candidate (job, stage, ready tasks) groups.
+  struct Candidate {
+    JobEntry* entry;
+    StageId stage;
+    std::vector<TaskId> tasks;
+  };
+  std::vector<Candidate> candidates;
+  size_t scored_pairs = 0;
+  for (const auto& entry : jobs_) {
+    if (!entry->admitted || entry->finished) {
+      continue;
+    }
+    std::map<StageId, std::vector<TaskId>> by_stage;
+    for (TaskId t : entry->jm->ready_tasks()) {
+      by_stage[entry->job->plan.task(t).stage].push_back(t);
+    }
+    for (auto& [stage, tasks] : by_stage) {
+      if (config_.stage_aware) {
+        scored_pairs += tasks.size() * master.size();
+        candidates.push_back(Candidate{entry.get(), stage, std::move(tasks)});
+      } else {
+        // Per-task placement ablation: each task is its own candidate.
+        for (TaskId t : tasks) {
+          scored_pairs += master.size();
+          candidates.push_back(Candidate{entry.get(), stage, {t}});
+        }
+      }
+      if (scored_pairs > kMaxScoredPairsPerTick) {
+        break;
+      }
+    }
+    if (scored_pairs > kMaxScoredPairsPerTick) {
+      LOG(Warning) << "placement candidate budget exhausted; deferring to next tick";
+      break;
+    }
+  }
+  if (candidates.empty()) {
+    return;
+  }
+
+  // Score all candidates against the tick-start snapshot, then commit in
+  // descending score order, re-resolving workers against the evolving master
+  // load (an O(2 S T W) approximation of Algorithm 1's repeated rescoring).
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    StagePlan plan = ScoreStage(*c.entry, c.stage, c.tasks, master, ept);
+    order.emplace_back(plan.score, i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [score, idx] : order) {
+    if (score == -std::numeric_limits<double>::infinity()) {
+      continue;
+    }
+    const Candidate& c = candidates[idx];
+    // Re-resolve against current master loads and commit.
+    for (TaskId t : c.tasks) {
+      if (c.entry->jm->task_state(t) != TaskState::kReady) {
+        continue;
+      }
+      const TaskUsage usage = c.entry->jm->GetUsage(t);
+      WorkerId w = kInvalidId;
+      double f = 0.0;
+      if (!BestWorker(usage, master, ept, &w, &f)) {
+        continue;
+      }
+      if (c.entry->jm->PlaceTask(t, w)) {
+        ApplyToLoad(usage, ept, &master[static_cast<size_t>(w)]);
+      }
+    }
+  }
+}
+
+}  // namespace ursa

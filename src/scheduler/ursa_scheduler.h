@@ -1,0 +1,158 @@
+// Ursa's centralized scheduler (section 4.2.2): memory-based job admission
+// and the stage-aware, load-balanced task placement of Algorithm 1.
+//
+// The scheduler runs in batches at a configurable scheduling interval. At
+// each tick it:
+//   1. admits queued jobs in policy order while the cluster-wide memory
+//      reservation fits (preventing memory deadlock);
+//   2. refreshes SRJF priorities (job ranks from remaining work R against
+//      cluster load L) and re-sorts worker queues if they changed;
+//   3. runs Algorithm 1: for every stage with ready tasks it computes a
+//      placement plan and a score from the per-worker load headroom
+//      D_r(w) = max(0, (EPT - APT_r(w)) / EPT) and the load increase
+//      Inc_r(t, w), places the best-scoring stage, and repeats until no
+//      stage can place any task.
+//
+// Ablation switches reproduce section 5.2: `consider_network` drops the
+// network dimension from scoring, `stage_aware` switches to per-task
+// placement, and `enable_job_ordering` / `enable_monotask_ordering` gate the
+// two enforcement mechanisms of Table 6.
+#ifndef SRC_SCHEDULER_URSA_SCHEDULER_H_
+#define SRC_SCHEDULER_URSA_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/packing_schedulers.h"
+#include "src/exec/cluster.h"
+#include "src/exec/job_manager.h"
+#include "src/metrics/metrics.h"
+#include "src/scheduler/job_ordering.h"
+
+namespace ursa {
+
+struct UrsaSchedulerConfig {
+  // Task placement batching interval (seconds).
+  double scheduling_interval = 0.25;
+  // EPT = scheduling_interval * ept_slack (slightly larger than the interval
+  // to absorb scheduler/JM/worker communication delay; section 4.2.2).
+  double ept_slack = 1.3;
+  OrderingPolicy policy = OrderingPolicy::kEjf;
+  // Weight W of the job-priority term added to stage placement scores
+  // ("how much EJF should be enforced", section 4.2.2). Large enough that
+  // job order dominates the O(1) load-match score once submissions are
+  // fractions of a second apart.
+  double priority_weight = 25.0;
+  // Large bonus for plans that place a whole stage (stage-awareness).
+  double stage_bonus = 1e9;
+  // Placement algorithm: Algorithm 1, or one of the section 5.1.2
+  // comparison algorithms (Tetris / Tetris2 / Capacity).
+  PlacementAlgorithm placement = PlacementAlgorithm::kAlgorithm1;
+  // --- Ablations (section 5.2 / Table 6). ---
+  bool consider_network = true;
+  bool stage_aware = true;
+  bool enable_job_ordering = true;
+  bool enable_monotask_ordering = true;
+  // Fraction of cluster memory usable for admission reservations.
+  double admission_memory_fraction = 1.0;
+};
+
+class UrsaScheduler : public JobManagerListener {
+ public:
+  UrsaScheduler(Simulator* sim, Cluster* cluster, const UrsaSchedulerConfig& config);
+  ~UrsaScheduler() override;
+
+  // Submits a job at the current simulation time. The scheduler owns the job
+  // and its job manager.
+  void SubmitJob(std::unique_ptr<Job> job);
+
+  // Fault injection (section 4.3): marks the worker failed (as detected via
+  // missed heartbeats), excludes it from placement, and restarts every
+  // active job that had tasks or data on it from its input checkpoint.
+  // Returns the number of jobs restarted.
+  int FailWorker(WorkerId worker);
+  int total_restarts() const { return total_restarts_; }
+
+  // JobManagerListener:
+  void OnTaskReady(JobId job, TaskId task) override;
+  void OnTaskCompleted(JobId job, TaskId task) override;
+  void OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) override;
+  void OnJobFinished(JobId job) override;
+
+  bool AllJobsFinished() const { return finished_jobs_ == total_jobs_; }
+  int finished_jobs() const { return finished_jobs_; }
+  int total_jobs() const { return total_jobs_; }
+
+  const std::vector<JobRecord>& job_records() const { return records_; }
+  const JobManager* job_manager(JobId id) const;
+
+ private:
+  struct JobEntry {
+    std::unique_ptr<Job> job;
+    std::unique_ptr<JobManager> jm;
+    bool admitted = false;
+    bool finished = false;
+    double srjf_rank = 0.0;
+  };
+
+  void EnsureTickScheduled();
+  void Tick();
+  void TryAdmitJobs();
+  void RefreshPriorities();
+  void RunPlacement();
+  void RunPackingPlacement();
+
+  // One candidate placement for a stage of ready tasks.
+  struct StagePlan {
+    JobId job = kInvalidId;
+    StageId stage = kInvalidId;
+    double score = 0.0;
+    std::vector<std::pair<TaskId, WorkerId>> assignments;
+    bool complete = false;  // All ready tasks of the stage placed.
+  };
+  struct WorkerLoad {
+    double d[kNumResourceDims] = {0.0, 0.0, 0.0, 0.0};
+    // Raw APT_r values; used to break ties when every D_r is exhausted
+    // (placements then go to the least-loaded worker instead of piling up).
+    double apt[kNumMonotaskResources] = {0.0, 0.0, 0.0};
+    double free_memory = 0.0;
+    double memory_capacity = 0.0;
+    double rate[kNumMonotaskResources] = {0.0, 0.0, 0.0};
+  };
+
+  std::vector<WorkerLoad> SnapshotLoads() const;
+  // Evaluates Algorithm 1's StageScore for the ready tasks of (job, stage)
+  // against `loads` (mutating its own copy); returns the plan.
+  StagePlan ScoreStage(const JobEntry& entry, StageId stage,
+                       const std::vector<TaskId>& tasks, std::vector<WorkerLoad> loads,
+                       double ept) const;
+  // Best worker for one task; returns false if no worker qualifies.
+  bool BestWorker(const TaskUsage& usage, const std::vector<WorkerLoad>& loads, double ept,
+                  WorkerId* out_worker, double* out_score) const;
+  static void ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load);
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  UrsaSchedulerConfig config_;
+
+  std::vector<std::unique_ptr<JobEntry>> jobs_;  // Indexed by JobId.
+  // Aborted job managers are kept alive until shutdown: in-flight monotasks
+  // on healthy workers still hold callbacks into them (all no-ops).
+  std::vector<std::unique_ptr<JobManager>> aborted_jms_;
+  std::vector<JobId> waiting_admission_;         // Policy-ordered on use.
+  std::vector<JobRecord> records_;
+
+  std::unique_ptr<PackingState> packing_;  // Non-null for packing placements.
+  double reserved_memory_ = 0.0;
+  int total_jobs_ = 0;
+  int total_restarts_ = 0;
+  int finished_jobs_ = 0;
+  int active_jobs_ = 0;
+  bool tick_scheduled_ = false;
+  bool placement_dirty_ = false;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_SCHEDULER_URSA_SCHEDULER_H_

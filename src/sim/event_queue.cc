@@ -1,0 +1,62 @@
+#include "src/sim/event_queue.h"
+
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+EventId EventQueue::Push(double when, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      return;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Empty() const {
+  const_cast<EventQueue*>(this)->DropCancelledHead();
+  return heap_.empty();
+}
+
+double EventQueue::NextTime() const {
+  const_cast<EventQueue*>(this)->DropCancelledHead();
+  if (heap_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  DropCancelledHead();
+  CHECK(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  CHECK(it != callbacks_.end());
+  Fired fired{top.when, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  return fired;
+}
+
+}  // namespace ursa

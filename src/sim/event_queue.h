@@ -1,0 +1,69 @@
+// Priority queue of timestamped events with stable ordering and O(log n)
+// lazy cancellation. Ties at the same timestamp fire in scheduling order,
+// which makes simulations deterministic for a fixed seed.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ursa {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Enqueues `cb` to fire at absolute time `when`. Returns a handle usable
+  // with Cancel().
+  EventId Push(double when, Callback cb);
+
+  // Cancels a pending event. Cancelling an already-fired or already-cancelled
+  // event is a no-op; returns whether the event was actually pending.
+  bool Cancel(EventId id);
+
+  bool Empty() const;
+  double NextTime() const;
+
+  // Removes and returns the earliest event. Must not be called when Empty().
+  struct Fired {
+    double when;
+    EventId id;
+    Callback cb;
+  };
+  Fired Pop();
+
+  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+ private:
+  struct Entry {
+    double when;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events.
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  // Callbacks stored out-of-heap so Entry stays trivially copyable.
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

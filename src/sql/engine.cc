@@ -1,0 +1,700 @@
+#include "src/sql/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/runtime/local_runtime.h"
+
+namespace ursa {
+
+namespace {
+
+// Resolves `name` ("col" or "table.col") in a schema of qualified names.
+// Returns -1 when absent; CHECK-fails on ambiguity.
+int ResolveColumn(const SqlSchema& schema, const std::string& name) {
+  int found = -1;
+  for (size_t i = 0; i < schema.columns.size(); ++i) {
+    const std::string& column = schema.columns[i].name;
+    const bool match =
+        column == name ||
+        (column.size() > name.size() &&
+         column.compare(column.size() - name.size() - 1, name.size() + 1, "." + name) == 0);
+    if (match) {
+      CHECK_EQ(found, -1) << "ambiguous column reference: " << name;
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+bool EvalPredicate(const SqlRow& row, int column, CompareOp op, const SqlValue& literal) {
+  const int cmp = CompareValues(row[static_cast<size_t>(column)], literal);
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+struct BoundPredicate {
+  int column;
+  CompareOp op;
+  SqlValue literal;
+};
+
+std::string GroupKey(const SqlRow& row, const std::vector<int>& key_columns) {
+  std::string key;
+  for (int c : key_columns) {
+    key += ToDisplayString(row[static_cast<size_t>(c)]);
+    key += '\x1f';
+  }
+  return key;
+}
+
+// One accumulator per aggregate select-item.
+struct AggState {
+  double sum = 0.0;
+  int64_t count = 0;
+  SqlValue extreme;  // MIN/MAX.
+  bool has_extreme = false;
+};
+
+// A group's partial state shipped through the shuffle.
+struct PartialGroup {
+  SqlRow key_values;
+  std::vector<AggState> aggs;
+};
+
+struct BoundAgg {
+  AggFn fn;
+  int column;  // -1 for COUNT(*).
+};
+
+void Accumulate(AggState* state, const BoundAgg& agg, const SqlRow& row) {
+  ++state->count;
+  if (agg.column >= 0 && agg.fn != AggFn::kCount) {
+    const SqlValue& value = row[static_cast<size_t>(agg.column)];
+    if (agg.fn == AggFn::kSum || agg.fn == AggFn::kAvg) {
+      state->sum += ToDouble(value);
+    } else if (!state->has_extreme ||
+               (agg.fn == AggFn::kMin ? CompareValues(value, state->extreme) < 0
+                                      : CompareValues(value, state->extreme) > 0)) {
+      state->extreme = value;
+      state->has_extreme = true;
+    }
+  }
+}
+
+void Merge(AggState* into, const AggState& from, const BoundAgg& agg) {
+  into->count += from.count;
+  into->sum += from.sum;
+  if (from.has_extreme &&
+      (!into->has_extreme ||
+       (agg.fn == AggFn::kMin ? CompareValues(from.extreme, into->extreme) < 0
+                              : CompareValues(from.extreme, into->extreme) > 0))) {
+    into->extreme = from.extreme;
+    into->has_extreme = true;
+  }
+}
+
+SqlValue Finalize(const AggState& state, const BoundAgg& agg) {
+  switch (agg.fn) {
+    case AggFn::kCount:
+      return state.count;
+    case AggFn::kSum:
+      return state.sum;
+    case AggFn::kAvg:
+      return state.count > 0 ? state.sum / static_cast<double>(state.count) : 0.0;
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return state.has_extreme ? state.extreme : SqlValue(int64_t{0});
+    case AggFn::kNone:
+      break;
+  }
+  LOG(Fatal) << "not an aggregate";
+  return int64_t{0};
+}
+
+// Buckets rows by the hash of one column.
+std::vector<std::any> BucketRows(std::vector<SqlRow> rows, int key_column, int buckets) {
+  std::vector<std::vector<SqlRow>> out(static_cast<size_t>(buckets));
+  for (SqlRow& row : rows) {
+    const size_t b = HashValue(row[static_cast<size_t>(key_column)]) %
+                     static_cast<size_t>(buckets);
+    out[b].push_back(std::move(row));
+  }
+  std::vector<std::any> anys;
+  anys.reserve(out.size());
+  for (auto& bucket : out) {
+    anys.emplace_back(std::move(bucket));
+  }
+  return anys;
+}
+
+std::vector<SqlRow> ConcatSlices(const std::vector<std::any>& slices) {
+  std::vector<SqlRow> rows;
+  for (const std::any& slice : slices) {
+    const auto& part = *std::any_cast<std::vector<SqlRow>>(&slice);
+    rows.insert(rows.end(), part.begin(), part.end());
+  }
+  return rows;
+}
+
+// The planner's pipeline state.
+struct Stream {
+  DataId data = kInvalidId;
+  OpHandle creator;
+  SqlSchema schema;
+  int partitions = 0;
+  double est_bytes = 0.0;
+};
+
+// Builds the OpGraph (and, when `runtime` is non-null, the real UDFs).
+class PlanBuilder {
+ public:
+  PlanBuilder(const SqlCatalog* catalog, int shuffle_partitions, OpGraph* graph,
+              LocalRuntime* runtime)
+      : catalog_(catalog), shuffle_partitions_(shuffle_partitions), graph_(graph),
+        runtime_(runtime) {}
+
+  // Returns the final stream; fills *out_schema with the user-visible schema.
+  Stream Build(const SelectStatement& statement, SqlSchema* out_schema) {
+    std::vector<bool> applied(statement.where.size(), false);
+    Stream stream = Scan(statement.from_table, statement.where, &applied);
+    for (const JoinClause& join : statement.joins) {
+      Stream right = Scan(join.table, statement.where, &applied);
+      stream = HashJoin(std::move(stream), std::move(right), join);
+    }
+    for (size_t i = 0; i < statement.where.size(); ++i) {
+      CHECK(applied[i]) << "unresolvable WHERE column: " << statement.where[i].column;
+    }
+    if (statement.has_aggregates() || !statement.group_by.empty()) {
+      stream = Aggregate(std::move(stream), statement);
+    } else if (!statement.items.empty()) {
+      stream = Project(std::move(stream), statement.items);
+    }
+    if (statement.order_by.has_value() || statement.limit.has_value()) {
+      stream = OrderAndLimit(std::move(stream), statement);
+    }
+    *out_schema = stream.schema;
+    return stream;
+  }
+
+ private:
+  int RegisterUdf(Udf udf) {
+    if (runtime_ == nullptr) {
+      return -1;
+    }
+    return runtime_->RegisterUdf(std::move(udf));
+  }
+
+  void MaybeSetUdf(OpHandle& op, int udf) {
+    if (udf >= 0) {
+      op.SetUdf(udf);
+    }
+  }
+
+  Stream Scan(const std::string& table_name, const std::vector<Predicate>& where,
+              std::vector<bool>* applied) {
+    const SqlTable& table = catalog_->Get(table_name);
+    Stream stream;
+    stream.partitions = static_cast<int>(table.partitions.size());
+    for (const SqlColumn& column : table.schema.columns) {
+      stream.schema.columns.push_back(SqlColumn{table_name + "." + column.name, column.type});
+    }
+    // External dataset + input partitions.
+    std::vector<double> sizes;
+    std::vector<std::any> parts;
+    for (const auto& partition : table.partitions) {
+      sizes.push_back(1.0 + 64.0 * static_cast<double>(partition.size()));
+      parts.emplace_back(partition);
+    }
+    const DataId input = graph_->CreateExternalData(std::move(sizes), table_name);
+    if (runtime_ != nullptr) {
+      runtime_->SetInput(input, std::move(parts));
+    }
+    // Push down every predicate resolvable against this table.
+    std::vector<BoundPredicate> bound;
+    double selectivity = 1.0;
+    for (size_t i = 0; i < where.size(); ++i) {
+      if ((*applied)[i]) {
+        continue;
+      }
+      const int column = ResolveColumn(stream.schema, where[i].column);
+      if (column >= 0) {
+        bound.push_back(BoundPredicate{column, where[i].op, where[i].literal});
+        (*applied)[i] = true;
+        selectivity *= where[i].op == CompareOp::kEq ? 0.2 : 0.5;
+      }
+    }
+    const DataId scanned = graph_->CreateData(stream.partitions, table_name + "-scan");
+    OpCostModel cost;
+    cost.cpu_complexity = 1.5;
+    cost.output_selectivity = selectivity;
+    OpHandle scan = graph_->CreateOp(ResourceType::kCpu, "scan-" + table_name)
+                        .Read(input)
+                        .Create(scanned)
+                        .SetCost(cost)
+                        .SetM2i(2.0);
+    MaybeSetUdf(scan, RegisterUdf([bound](const UdfInputs& inputs) {
+      const auto& in = *std::any_cast<std::vector<SqlRow>>(inputs[0]);
+      std::vector<SqlRow> out;
+      for (const SqlRow& row : in) {
+        bool keep = true;
+        for (const BoundPredicate& pred : bound) {
+          if (!EvalPredicate(row, pred.column, pred.op, pred.literal)) {
+            keep = false;
+            break;
+          }
+        }
+        if (keep) {
+          out.push_back(row);
+        }
+      }
+      return std::vector<std::any>{std::any(std::move(out))};
+    }));
+    stream.data = scanned;
+    stream.creator = scan;
+    stream.est_bytes = table.approx_bytes() * selectivity;
+    return stream;
+  }
+
+  // Adds a ser(bucket-by-key) + sync shuffle for one join side.
+  Stream ShuffleByKey(Stream in, int key_column, int out_partitions, const std::string& tag) {
+    const DataId msg = graph_->CreateData(in.partitions, tag + "-msg");
+    OpCostModel ser_cost;
+    ser_cost.cpu_complexity = 1.0;
+    OpHandle ser = graph_->CreateOp(ResourceType::kCpu, tag + "-ser")
+                       .Read(in.data)
+                       .Create(msg)
+                       .SetCost(ser_cost);
+    const int buckets = out_partitions;
+    MaybeSetUdf(ser, RegisterUdf([key_column, buckets](const UdfInputs& inputs) {
+      return std::vector<std::any>{
+          std::any(BucketRows(*std::any_cast<std::vector<SqlRow>>(inputs[0]), key_column,
+                              buckets))};
+    }));
+    if (in.creator.valid()) {
+      in.creator.To(ser, DepKind::kAsync);
+    }
+    const DataId shuffled = graph_->CreateData(out_partitions, tag + "-shuffled");
+    OpHandle shuffle =
+        graph_->CreateOp(ResourceType::kNetwork, tag + "-shuffle").Read(msg).Create(shuffled);
+    ser.To(shuffle, DepKind::kSync);
+    Stream out;
+    out.data = shuffled;
+    out.creator = shuffle;
+    out.schema = std::move(in.schema);
+    out.partitions = out_partitions;
+    out.est_bytes = in.est_bytes;
+    return out;
+  }
+
+  Stream HashJoin(Stream left, Stream right, const JoinClause& join) {
+    int left_key = ResolveColumn(left.schema, join.left_column);
+    int right_key = ResolveColumn(right.schema, join.right_column);
+    if (left_key < 0 && right_key < 0) {
+      // Perhaps written the other way around.
+      left_key = ResolveColumn(left.schema, join.right_column);
+      right_key = ResolveColumn(right.schema, join.left_column);
+    } else if (left_key < 0) {
+      left_key = ResolveColumn(left.schema, join.right_column);
+    } else if (right_key < 0) {
+      right_key = ResolveColumn(right.schema, join.left_column);
+    }
+    CHECK_GE(left_key, 0) << "join key not found: " << join.left_column;
+    CHECK_GE(right_key, 0) << "join key not found: " << join.right_column;
+
+    const int p = shuffle_partitions_;
+    Stream ls = ShuffleByKey(std::move(left), left_key, p, "join-l" + join.table);
+    Stream rs = ShuffleByKey(std::move(right), right_key, p, "join-r" + join.table);
+
+    Stream out;
+    out.partitions = p;
+    out.schema = ls.schema;
+    for (const SqlColumn& column : rs.schema.columns) {
+      out.schema.columns.push_back(column);
+    }
+    out.est_bytes = (ls.est_bytes + rs.est_bytes) * 0.7;
+    const DataId joined = graph_->CreateData(p, "joined-" + join.table);
+    OpCostModel cost;
+    cost.cpu_complexity = 2.5;
+    cost.output_selectivity = 0.7;
+    OpHandle join_op = graph_->CreateOp(ResourceType::kCpu, "join-" + join.table)
+                           .Read(ls.data)
+                           .Read(rs.data)
+                           .Create(joined)
+                           .SetCost(cost)
+                           .SetM2i(1.7);
+    MaybeSetUdf(join_op, RegisterUdf([left_key, right_key](const UdfInputs& inputs) {
+      const std::vector<SqlRow> left_rows =
+          ConcatSlices(*std::any_cast<std::vector<std::any>>(inputs[0]));
+      const std::vector<SqlRow> right_rows =
+          ConcatSlices(*std::any_cast<std::vector<std::any>>(inputs[1]));
+      std::unordered_multimap<std::string, const SqlRow*> build;
+      build.reserve(right_rows.size());
+      for (const SqlRow& row : right_rows) {
+        build.emplace(ToDisplayString(row[static_cast<size_t>(right_key)]), &row);
+      }
+      std::vector<SqlRow> out_rows;
+      for (const SqlRow& row : left_rows) {
+        auto [lo, hi] = build.equal_range(ToDisplayString(row[static_cast<size_t>(left_key)]));
+        for (auto it = lo; it != hi; ++it) {
+          SqlRow combined = row;
+          combined.insert(combined.end(), it->second->begin(), it->second->end());
+          out_rows.push_back(std::move(combined));
+        }
+      }
+      return std::vector<std::any>{std::any(std::move(out_rows))};
+    }));
+    ls.creator.To(join_op, DepKind::kAsync);
+    rs.creator.To(join_op, DepKind::kAsync);
+    out.data = joined;
+    out.creator = join_op;
+    return out;
+  }
+
+  Stream Aggregate(Stream in, const SelectStatement& statement) {
+    // Bind group-by columns and aggregates against the input schema.
+    std::vector<int> key_columns;
+    for (const std::string& name : statement.group_by) {
+      const int column = ResolveColumn(in.schema, name);
+      CHECK_GE(column, 0) << "GROUP BY column not found: " << name;
+      key_columns.push_back(column);
+    }
+    std::vector<BoundAgg> aggs;
+    // Output layout: select items in order (group col or aggregate).
+    struct OutputItem {
+      bool is_agg;
+      int index;  // Into key_columns or aggs.
+    };
+    std::vector<OutputItem> layout;
+    SqlSchema out_schema;
+    for (const SelectItem& item : statement.items) {
+      if (item.agg == AggFn::kNone) {
+        const int column = ResolveColumn(in.schema, item.column);
+        CHECK_GE(column, 0) << "column not found: " << item.column;
+        int key_index = -1;
+        for (size_t k = 0; k < key_columns.size(); ++k) {
+          if (key_columns[k] == column) {
+            key_index = static_cast<int>(k);
+          }
+        }
+        CHECK_GE(key_index, 0) << "non-aggregated column " << item.column
+                               << " must appear in GROUP BY";
+        layout.push_back(OutputItem{false, key_index});
+        out_schema.columns.push_back(
+            SqlColumn{item.alias, in.schema.columns[static_cast<size_t>(column)].type});
+      } else {
+        BoundAgg agg;
+        agg.fn = item.agg;
+        agg.column = item.column.empty() ? -1 : ResolveColumn(in.schema, item.column);
+        CHECK(item.column.empty() || agg.column >= 0)
+            << "aggregate column not found: " << item.column;
+        layout.push_back(OutputItem{true, static_cast<int>(aggs.size())});
+        SqlType type = SqlType::kDouble;
+        if (item.agg == AggFn::kCount) {
+          type = SqlType::kInt64;
+        } else if ((item.agg == AggFn::kMin || item.agg == AggFn::kMax) && agg.column >= 0) {
+          type = in.schema.columns[static_cast<size_t>(agg.column)].type;
+        }
+        out_schema.columns.push_back(SqlColumn{item.alias, type});
+        aggs.push_back(agg);
+      }
+    }
+    // GROUP BY without SELECT aggregates: emit the distinct keys.
+    if (statement.items.empty()) {
+      for (size_t k = 0; k < key_columns.size(); ++k) {
+        layout.push_back(OutputItem{false, static_cast<int>(k)});
+        out_schema.columns.push_back(in.schema.columns[static_cast<size_t>(key_columns[k])]);
+      }
+    }
+
+    const bool global = key_columns.empty();
+    const int out_partitions = global ? 1 : std::min(shuffle_partitions_, in.partitions);
+
+    // Partial aggregation + bucketing by group key.
+    const DataId partial = graph_->CreateData(in.partitions, "agg-partial");
+    OpCostModel partial_cost;
+    partial_cost.cpu_complexity = 2.0;
+    partial_cost.output_selectivity = 0.3;
+    OpHandle partial_op = graph_->CreateOp(ResourceType::kCpu, "agg-partial")
+                              .Read(in.data)
+                              .Create(partial)
+                              .SetCost(partial_cost)
+                              .SetM2i(2.0);
+    MaybeSetUdf(partial_op, RegisterUdf([key_columns, aggs,
+                                         out_partitions](const UdfInputs& inputs) {
+      const auto& rows = *std::any_cast<std::vector<SqlRow>>(inputs[0]);
+      std::unordered_map<std::string, PartialGroup> groups;
+      for (const SqlRow& row : rows) {
+        const std::string key = GroupKey(row, key_columns);
+        PartialGroup& group = groups[key];
+        if (group.aggs.empty()) {
+          group.aggs.resize(aggs.size());
+          for (int c : key_columns) {
+            group.key_values.push_back(row[static_cast<size_t>(c)]);
+          }
+        }
+        for (size_t a = 0; a < aggs.size(); ++a) {
+          Accumulate(&group.aggs[a], aggs[a], row);
+        }
+      }
+      std::vector<std::vector<PartialGroup>> buckets(static_cast<size_t>(out_partitions));
+      for (auto& [key, group] : groups) {
+        buckets[std::hash<std::string>{}(key) % static_cast<size_t>(out_partitions)]
+            .push_back(std::move(group));
+      }
+      std::vector<std::any> bucket_anys;
+      for (auto& bucket : buckets) {
+        bucket_anys.emplace_back(std::move(bucket));
+      }
+      return std::vector<std::any>{std::any(std::move(bucket_anys))};
+    }));
+    if (in.creator.valid()) {
+      in.creator.To(partial_op, DepKind::kAsync);
+    }
+
+    const DataId shuffled = graph_->CreateData(out_partitions, "agg-shuffled");
+    OpHandle shuffle =
+        graph_->CreateOp(ResourceType::kNetwork, "agg-shuffle").Read(partial).Create(shuffled);
+    partial_op.To(shuffle, DepKind::kSync);
+
+    const DataId final_data = graph_->CreateData(out_partitions, "agg-final");
+    OpCostModel final_cost;
+    final_cost.cpu_complexity = 1.5;
+    final_cost.output_selectivity = 0.8;
+    OpHandle final_op = graph_->CreateOp(ResourceType::kCpu, "agg-final")
+                            .Read(shuffled)
+                            .Create(final_data)
+                            .SetCost(final_cost);
+    MaybeSetUdf(final_op, RegisterUdf([key_columns, aggs, layout,
+                                       global](const UdfInputs& inputs) {
+      const auto& slices = *std::any_cast<std::vector<std::any>>(inputs[0]);
+      std::unordered_map<std::string, PartialGroup> merged;
+      for (const std::any& slice : slices) {
+        for (const PartialGroup& group : *std::any_cast<std::vector<PartialGroup>>(&slice)) {
+          std::string key;
+          for (const SqlValue& value : group.key_values) {
+            key += ToDisplayString(value);
+            key += '\x1f';
+          }
+          auto [it, inserted] = merged.emplace(key, group);
+          if (!inserted) {
+            for (size_t a = 0; a < aggs.size(); ++a) {
+              Merge(&it->second.aggs[a], group.aggs[a], aggs[a]);
+            }
+          }
+        }
+      }
+      if (merged.empty() && global) {
+        PartialGroup empty;
+        empty.aggs.resize(aggs.size());
+        merged.emplace("", std::move(empty));
+      }
+      std::vector<SqlRow> out_rows;
+      for (auto& [key, group] : merged) {
+        SqlRow row;
+        for (const OutputItem& item : layout) {
+          if (item.is_agg) {
+            row.push_back(Finalize(group.aggs[static_cast<size_t>(item.index)],
+                                   aggs[static_cast<size_t>(item.index)]));
+          } else {
+            row.push_back(group.key_values[static_cast<size_t>(item.index)]);
+          }
+        }
+        out_rows.push_back(std::move(row));
+      }
+      return std::vector<std::any>{std::any(std::move(out_rows))};
+    }));
+    shuffle.To(final_op, DepKind::kAsync);
+
+    Stream out;
+    out.data = final_data;
+    out.creator = final_op;
+    out.schema = std::move(out_schema);
+    out.partitions = out_partitions;
+    out.est_bytes = in.est_bytes * 0.3;
+    return out;
+  }
+
+  Stream Project(Stream in, const std::vector<SelectItem>& items) {
+    std::vector<int> columns;
+    SqlSchema schema;
+    for (const SelectItem& item : items) {
+      const int column = ResolveColumn(in.schema, item.column);
+      CHECK_GE(column, 0) << "column not found: " << item.column;
+      columns.push_back(column);
+      schema.columns.push_back(
+          SqlColumn{item.alias, in.schema.columns[static_cast<size_t>(column)].type});
+    }
+    const DataId projected = graph_->CreateData(in.partitions, "project");
+    OpCostModel cost;
+    cost.cpu_complexity = 0.5;
+    cost.output_selectivity = 0.8;
+    OpHandle op = graph_->CreateOp(ResourceType::kCpu, "project")
+                      .Read(in.data)
+                      .Create(projected)
+                      .SetCost(cost);
+    MaybeSetUdf(op, RegisterUdf([columns](const UdfInputs& inputs) {
+      const auto& rows = *std::any_cast<std::vector<SqlRow>>(inputs[0]);
+      std::vector<SqlRow> out_rows;
+      out_rows.reserve(rows.size());
+      for (const SqlRow& row : rows) {
+        SqlRow projected_row;
+        projected_row.reserve(columns.size());
+        for (int c : columns) {
+          projected_row.push_back(row[static_cast<size_t>(c)]);
+        }
+        out_rows.push_back(std::move(projected_row));
+      }
+      return std::vector<std::any>{std::any(std::move(out_rows))};
+    }));
+    if (in.creator.valid()) {
+      in.creator.To(op, DepKind::kAsync);
+    }
+    Stream out;
+    out.data = projected;
+    out.creator = op;
+    out.schema = std::move(schema);
+    out.partitions = in.partitions;
+    out.est_bytes = in.est_bytes * 0.8;
+    return out;
+  }
+
+  Stream OrderAndLimit(Stream in, const SelectStatement& statement) {
+    int sort_column = -1;
+    bool descending = false;
+    if (statement.order_by.has_value()) {
+      sort_column = ResolveColumn(in.schema, statement.order_by->column);
+      CHECK_GE(sort_column, 0) << "ORDER BY column not found: " << statement.order_by->column;
+      descending = statement.order_by->descending;
+    }
+    const int64_t limit =
+        statement.limit.has_value() ? *statement.limit : std::numeric_limits<int64_t>::max();
+
+    // Gather everything to one partition, then sort/limit.
+    const DataId gathered_msg = graph_->CreateData(in.partitions, "sort-msg");
+    OpHandle wrap = graph_->CreateOp(ResourceType::kCpu, "sort-gatherprep")
+                        .Read(in.data)
+                        .Create(gathered_msg);
+    MaybeSetUdf(wrap, RegisterUdf([](const UdfInputs& inputs) {
+      std::vector<std::any> bucket = {*inputs[0]};
+      return std::vector<std::any>{std::any(std::move(bucket))};
+    }));
+    if (in.creator.valid()) {
+      in.creator.To(wrap, DepKind::kAsync);
+    }
+    const DataId gathered = graph_->CreateData(1, "sort-gathered");
+    OpHandle shuffle = graph_->CreateOp(ResourceType::kNetwork, "sort-shuffle")
+                           .Read(gathered_msg)
+                           .Create(gathered);
+    wrap.To(shuffle, DepKind::kSync);
+
+    const DataId sorted = graph_->CreateData(1, "sorted");
+    OpHandle sort_op = graph_->CreateOp(ResourceType::kCpu, "sort").Read(gathered).Create(sorted);
+    MaybeSetUdf(sort_op, RegisterUdf([sort_column, descending, limit](const UdfInputs& inputs) {
+      std::vector<SqlRow> rows = ConcatSlices(*std::any_cast<std::vector<std::any>>(inputs[0]));
+      if (sort_column >= 0) {
+        std::stable_sort(rows.begin(), rows.end(),
+                         [sort_column, descending](const SqlRow& a, const SqlRow& b) {
+                           const int cmp = CompareValues(a[static_cast<size_t>(sort_column)],
+                                                         b[static_cast<size_t>(sort_column)]);
+                           return descending ? cmp > 0 : cmp < 0;
+                         });
+      }
+      if (static_cast<int64_t>(rows.size()) > limit) {
+        rows.resize(static_cast<size_t>(limit));
+      }
+      return std::vector<std::any>{std::any(std::move(rows))};
+    }));
+    shuffle.To(sort_op, DepKind::kAsync);
+
+    Stream out;
+    out.data = sorted;
+    out.creator = sort_op;
+    out.schema = std::move(in.schema);
+    out.partitions = 1;
+    out.est_bytes = in.est_bytes;
+    return out;
+  }
+
+  const SqlCatalog* catalog_;
+  int shuffle_partitions_;
+  OpGraph* graph_;
+  LocalRuntime* runtime_;
+};
+
+}  // namespace
+
+std::string SqlResult::ToString() const {
+  std::ostringstream out;
+  for (size_t c = 0; c < schema.columns.size(); ++c) {
+    out << (c > 0 ? " | " : "") << schema.columns[c].name;
+  }
+  out << "\n";
+  for (const SqlRow& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c > 0 ? " | " : "") << ToDisplayString(row[c]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+SqlEngine::SqlEngine(const SqlCatalog* catalog, int shuffle_partitions)
+    : catalog_(catalog), shuffle_partitions_(shuffle_partitions) {
+  CHECK_GT(shuffle_partitions_, 0);
+}
+
+SqlResult SqlEngine::Execute(const std::string& query) {
+  const SelectStatement statement = ParseSql(query);
+  OpGraph graph;
+  LocalRuntime runtime;
+  PlanBuilder builder(catalog_, shuffle_partitions_, &graph, &runtime);
+  SqlResult result;
+  const Stream stream = builder.Build(statement, &result.schema);
+  runtime.Run(graph);
+  for (int p = 0; p < stream.partitions; ++p) {
+    const auto& rows =
+        *std::any_cast<std::vector<SqlRow>>(&runtime.Partition(stream.data, p));
+    result.rows.insert(result.rows.end(), rows.begin(), rows.end());
+  }
+  return result;
+}
+
+JobSpec SqlEngine::CompileForSimulation(const std::string& query, double scale) const {
+  const SelectStatement statement = ParseSql(query);
+  JobSpec spec;
+  spec.name = "sql";
+  spec.klass = "sql";
+  PlanBuilder builder(catalog_, shuffle_partitions_, &spec.graph, nullptr);
+  SqlSchema schema;
+  const Stream stream = builder.Build(statement, &schema);
+  (void)stream;
+  // Scale the external inputs to the requested volume.
+  for (auto& dataset : spec.graph.mutable_datasets()) {
+    for (double& bytes : dataset.external_sizes) {
+      bytes *= scale;
+    }
+  }
+  spec.declared_memory_bytes =
+      std::max(1e9, 2.0 * spec.graph.TotalExternalInputBytes());
+  spec.graph.Validate();
+  return spec;
+}
+
+}  // namespace ursa

@@ -1,0 +1,48 @@
+// SQL engine: compiles a parsed SELECT statement into an OpGraph - scans
+// with pushed-down filters, hash joins and aggregations as the paper's
+// ser / sync-shuffle / deser pattern, ORDER BY / LIMIT as a gather stage -
+// and executes it on LocalRuntime's per-resource monotask queues.
+//
+// Every op carries a cost model estimated from catalog statistics
+// (row counts, textbook selectivity guesses), so the identical graph can
+// also be submitted to the cluster simulator as a JobSpec.
+#ifndef SRC_SQL_ENGINE_H_
+#define SRC_SQL_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dag/job.h"
+#include "src/sql/catalog.h"
+#include "src/sql/parser.h"
+
+namespace ursa {
+
+struct SqlResult {
+  SqlSchema schema;
+  std::vector<SqlRow> rows;
+
+  // Renders an aligned text table (for examples / debugging).
+  std::string ToString() const;
+};
+
+class SqlEngine {
+ public:
+  explicit SqlEngine(const SqlCatalog* catalog, int shuffle_partitions = 4);
+
+  // Parses, plans, executes; returns the materialized result.
+  SqlResult Execute(const std::string& query);
+
+  // Compiles the query into a simulator-ready JobSpec (cost models from
+  // catalog statistics; no UDFs executed). `scale` multiplies the catalog's
+  // byte sizes so toy tables can stand in for warehouse-scale ones.
+  JobSpec CompileForSimulation(const std::string& query, double scale = 1.0) const;
+
+ private:
+  const SqlCatalog* catalog_;
+  int shuffle_partitions_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_SQL_ENGINE_H_

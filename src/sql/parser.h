@@ -1,0 +1,90 @@
+// SQL lexer, AST, and recursive-descent parser for the supported subset:
+//
+//   SELECT <cols | aggregates> FROM t [JOIN t2 ON a = b]...
+//     [WHERE <conjunction of comparisons>]
+//     [GROUP BY cols] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//
+// Aggregates: COUNT(*), COUNT(c), SUM(c), MIN(c), MAX(c), AVG(c).
+// Comparisons: =, !=, <>, <, <=, >, >= against literals (or between columns
+// in JOIN ... ON). Identifiers may be qualified (table.column).
+#ifndef SRC_SQL_PARSER_H_
+#define SRC_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sql/value.h"
+
+namespace ursa {
+
+enum class AggFn : int {
+  kNone = 0,
+  kCount = 1,
+  kSum = 2,
+  kMin = 3,
+  kMax = 4,
+  kAvg = 5,
+};
+
+struct SelectItem {
+  AggFn agg = AggFn::kNone;
+  std::string column;  // Empty for COUNT(*).
+  std::string alias;   // Output column name.
+};
+
+enum class CompareOp : int {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+};
+
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  SqlValue literal;
+};
+
+struct JoinClause {
+  std::string table;
+  std::string left_column;   // From tables joined so far.
+  std::string right_column;  // From the newly joined table.
+};
+
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  std::vector<SelectItem> items;
+  std::string from_table;
+  std::vector<JoinClause> joins;
+  std::vector<Predicate> where;  // Conjunction.
+  std::vector<std::string> group_by;
+  std::optional<OrderBy> order_by;
+  std::optional<int64_t> limit;
+
+  bool has_aggregates() const {
+    for (const SelectItem& item : items) {
+      if (item.agg != AggFn::kNone) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Parses one SELECT statement; CHECK-fails with a diagnostic on syntax
+// errors (the engine wraps this for tests via ParseOrError).
+SelectStatement ParseSql(const std::string& query);
+
+// Non-fatal variant: returns false and fills *error on syntax errors.
+bool TryParseSql(const std::string& query, SelectStatement* out, std::string* error);
+
+}  // namespace ursa
+
+#endif  // SRC_SQL_PARSER_H_

@@ -1,0 +1,105 @@
+#include "src/workloads/graph.h"
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace ursa {
+
+GraphJobParams PagerankParams() {
+  GraphJobParams params;
+  params.name = "pagerank";
+  params.iterations = 16;
+  params.edge_bytes = 80.0 * kGiB;  // uk-union web graph scale.
+  params.complexity = 2.5;
+  params.message_fraction = 0.25;
+  params.frontier_decay = 1.0;
+  params.skew = 3.5;
+  params.parallelism = 640;
+  return params;
+}
+
+GraphJobParams CcParams() {
+  GraphJobParams params;
+  params.name = "cc";
+  params.iterations = 12;
+  params.edge_bytes = 50.0 * kGiB;  // Friendster scale.
+  params.complexity = 1.8;
+  params.message_fraction = 0.30;
+  params.frontier_decay = 0.65;  // Label propagation converges.
+  params.skew = 3.0;
+  params.parallelism = 640;
+  return params;
+}
+
+JobSpec BuildGraphJob(const GraphJobParams& params, uint64_t seed) {
+  CHECK_GE(params.iterations, 1);
+  JobSpec spec;
+  spec.name = params.name;
+  spec.klass = "graph";
+  spec.seed = seed;
+  spec.true_m2i = 1.4;
+  spec.default_m2i = 2.0;
+  spec.declared_memory_bytes = params.edge_bytes * 1.4;
+  OpGraph& graph = spec.graph;
+
+  const int p = params.parallelism;
+  std::vector<double> edge_sizes(static_cast<size_t>(p), params.edge_bytes / p);
+  const DataId edges = graph.CreateExternalData(std::move(edge_sizes), "edges");
+
+  // Initialization: build vertex state + first messages from the edges.
+  DataId messages = graph.CreateData(p, "msg0");
+  OpCostModel init_cost;
+  init_cost.cpu_complexity = 1.0;
+  init_cost.output_selectivity = params.message_fraction;
+  init_cost.output_skew = params.skew;
+  OpHandle prev_cpu = graph.CreateOp(ResourceType::kCpu, "init")
+                          .Read(edges)
+                          .Create(messages)
+                          .SetCost(init_cost)
+                          .SetM2i(1.8);
+
+  double frontier = 1.0;
+  for (int k = 0; k < params.iterations; ++k) {
+    const std::string suffix = std::to_string(k);
+    // Shuffle messages to their destination vertices (skewed by degree).
+    const DataId delivered = graph.CreateData(p, "delivered" + suffix);
+    OpCostModel shuffle_cost;
+    shuffle_cost.output_skew = params.skew;
+    OpHandle shuffle = graph.CreateOp(ResourceType::kNetwork, "shuffle" + suffix)
+                           .Read(messages)
+                           .Create(delivered)
+                           .SetCost(shuffle_cost);
+    prev_cpu.To(shuffle, DepKind::kSync);
+
+    // Apply messages and generate the next round (reads the cached edges).
+    frontier *= params.frontier_decay;
+    messages = graph.CreateData(p, "msg" + std::to_string(k + 1));
+    OpCostModel apply_cost;
+    apply_cost.cpu_complexity = params.complexity;
+    // Message volume relative to the apply input (edges + delivered).
+    const double delivered_bytes =
+        params.edge_bytes * params.message_fraction;  // Approximate, pre-decay.
+    const double next_bytes = params.edge_bytes * params.message_fraction * frontier;
+    apply_cost.output_selectivity = next_bytes / (params.edge_bytes + delivered_bytes);
+    apply_cost.output_skew = params.skew;
+    apply_cost.fixed_cpu_work = 1e6;
+    OpHandle apply = graph.CreateOp(ResourceType::kCpu, "apply" + suffix)
+                         .Read(edges)
+                         .Read(delivered)
+                         .Create(messages)
+                         .SetCost(apply_cost)
+                         .SetM2i(1.8);
+    shuffle.To(apply, DepKind::kAsync);
+    prev_cpu = apply;
+  }
+
+  OpHandle write = graph.CreateOp(ResourceType::kDisk, "write")
+                       .Read(messages)
+                       .SetParallelism(p);
+  prev_cpu.To(write, DepKind::kAsync);
+
+  graph.Validate();
+  return spec;
+}
+
+}  // namespace ursa

@@ -1,0 +1,36 @@
+// Graph analytics jobs (PageRank, Connected Components): iterative
+// message-passing over a cached edge list, with heavily skewed shuffles
+// (power-law vertex degrees) and, for CC, a shrinking frontier. These
+// reproduce Figures 1c/1d and the graph share of the Mixed workload.
+#ifndef SRC_WORKLOADS_GRAPH_H_
+#define SRC_WORKLOADS_GRAPH_H_
+
+#include "src/workloads/workload.h"
+
+namespace ursa {
+
+struct GraphJobParams {
+  std::string name = "pagerank";
+  int iterations = 16;
+  double edge_bytes = 80.0 * 1024 * 1024 * 1024;
+  // CPU work per edge byte per iteration.
+  double complexity = 2.5;
+  // Message bytes produced per edge byte in iteration 0.
+  double message_fraction = 0.25;
+  // Per-iteration decay of the message volume (1.0 for PR, < 1 for CC).
+  double frontier_decay = 1.0;
+  // Shuffle skew (power-law vertex degrees).
+  double skew = 3.0;
+  int parallelism = 640;
+};
+
+// PageRank on a WebUK-scale graph.
+GraphJobParams PagerankParams();
+// Connected components on a Friendster-scale graph.
+GraphJobParams CcParams();
+
+JobSpec BuildGraphJob(const GraphJobParams& params, uint64_t seed);
+
+}  // namespace ursa
+
+#endif  // SRC_WORKLOADS_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "src/workloads/mixed.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/ml.h"
+#include "src/workloads/tpch.h"
+
+namespace ursa {
+
+Workload MakeMixedWorkload(const MixedWorkloadConfig& config) {
+  Workload workload;
+  workload.name = "mixed";
+  Rng rng(config.seed);
+
+  // 32 TPC-H queries on the 200 GB database (70% of CPU).
+  for (int i = 0; i < 32; ++i) {
+    const int query = static_cast<int>(rng.UniformInt(static_cast<int64_t>(1), 22));
+    WorkloadJob job;
+    job.spec = MakeTpchQuery(query, 200.0 * kGiB, config.seed * 31 + i);
+    job.spec.name = "mixed-" + job.spec.name + "-" + std::to_string(i);
+    workload.jobs.push_back(std::move(job));
+  }
+
+  // 4 ML jobs (20% of CPU): 2x LR, 2x k-means.
+  for (int i = 0; i < 2; ++i) {
+    WorkloadJob lr;
+    lr.spec = BuildMlJob(LrParams(), config.seed * 97 + i);
+    lr.spec.name += "-" + std::to_string(i);
+    workload.jobs.push_back(std::move(lr));
+    WorkloadJob km;
+    km.spec = BuildMlJob(KmeansParams(), config.seed * 101 + i);
+    km.spec.name += "-" + std::to_string(i);
+    workload.jobs.push_back(std::move(km));
+  }
+
+  // 2 graph jobs (10% of CPU): PR and CC.
+  {
+    WorkloadJob pr;
+    pr.spec = BuildGraphJob(PagerankParams(), config.seed * 131);
+    workload.jobs.push_back(std::move(pr));
+    WorkloadJob cc;
+    cc.spec = BuildGraphJob(CcParams(), config.seed * 137);
+    workload.jobs.push_back(std::move(cc));
+  }
+
+  // Interleave deterministically and spread submissions.
+  for (size_t i = workload.jobs.size(); i > 1; --i) {
+    std::swap(workload.jobs[i - 1], workload.jobs[rng.UniformInt(i)]);
+  }
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    workload.jobs[i].submit_time = config.submit_interval * static_cast<double>(i);
+  }
+  return workload;
+}
+
+}  // namespace ursa

@@ -1,0 +1,21 @@
+// The Mixed workload of section 5.1.2: 2 graph-analytics jobs (PR, CC),
+// 4 ML jobs (2x k-means, 2x LR) and 32 randomly-chosen TPC-H queries, sized
+// so TPC-H / ML / graph account for roughly 70% / 20% / 10% of the total CPU
+// consumption.
+#ifndef SRC_WORKLOADS_MIXED_H_
+#define SRC_WORKLOADS_MIXED_H_
+
+#include "src/workloads/workload.h"
+
+namespace ursa {
+
+struct MixedWorkloadConfig {
+  uint64_t seed = 2020;
+  double submit_interval = 2.0;
+};
+
+Workload MakeMixedWorkload(const MixedWorkloadConfig& config);
+
+}  // namespace ursa
+
+#endif  // SRC_WORKLOADS_MIXED_H_

@@ -1,0 +1,122 @@
+#include "src/workloads/ml.h"
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace ursa {
+
+MlJobParams LrParams() {
+  MlJobParams params;
+  params.name = "lr";
+  params.iterations = 12;
+  params.dataset_bytes = 50.0 * kGiB;  // webspam-scale features.
+  params.model_bytes = 64.0 * kMiB;
+  params.complexity = 4.0;
+  params.parallelism = 320;
+  params.gradient_fraction = 0.1;  // Sparse gradients.
+  return params;
+}
+
+MlJobParams KmeansParams() {
+  MlJobParams params;
+  params.name = "kmeans";
+  params.iterations = 10;
+  params.dataset_bytes = 26.0 * kGiB;  // mnist8m-scale.
+  params.model_bytes = 16.0 * kMiB;    // centroids.
+  params.complexity = 6.0;
+  params.parallelism = 320;
+  params.gradient_fraction = 0.25;  // Per-cluster sums.
+  return params;
+}
+
+JobSpec BuildMlJob(const MlJobParams& params, uint64_t seed) {
+  CHECK_GE(params.iterations, 1);
+  JobSpec spec;
+  spec.name = params.name;
+  spec.klass = "ml";
+  spec.seed = seed;
+  spec.true_m2i = 1.3;
+  spec.default_m2i = 2.0;
+  // The training set stays cached, so the user declares memory for it.
+  spec.declared_memory_bytes = params.dataset_bytes * 1.3;
+  OpGraph& graph = spec.graph;
+
+  const int p = params.parallelism;
+  const int p_small = 32;
+  const double replicated_model = params.model_bytes * p;  // Broadcast volume.
+
+  // Training data: cached input partitions.
+  std::vector<double> data_sizes(static_cast<size_t>(p),
+                                 params.dataset_bytes / p);
+  const DataId data = graph.CreateExternalData(std::move(data_sizes), "train");
+
+  // Model seed: a tiny external blob the init op expands into the
+  // replicated model dataset.
+  std::vector<double> seed_sizes(static_cast<size_t>(p_small),
+                                 params.model_bytes / p_small);
+  const DataId model_seed = graph.CreateExternalData(std::move(seed_sizes), "seed");
+
+  DataId params_data = graph.CreateData(p_small, "params0");
+  OpCostModel init_cost;
+  init_cost.cpu_complexity = 1.0;
+  init_cost.output_selectivity = replicated_model / params.model_bytes;
+  OpHandle prev_cpu = graph.CreateOp(ResourceType::kCpu, "init")
+                          .Read(model_seed)
+                          .Create(params_data)
+                          .SetCost(init_cost);
+
+  for (int k = 0; k < params.iterations; ++k) {
+    const std::string suffix = std::to_string(k);
+    // Broadcast: every task pulls the full model.
+    const DataId replicated = graph.CreateData(p, "model" + suffix);
+    OpHandle bcast = graph.CreateOp(ResourceType::kNetwork, "bcast" + suffix)
+                         .Read(params_data)
+                         .Create(replicated);
+    prev_cpu.To(bcast, DepKind::kSync);
+
+    // Gradient / assignment pass over the cached data.
+    const DataId grads = graph.CreateData(p, "grad" + suffix);
+    OpCostModel grad_cost;
+    grad_cost.cpu_complexity = params.complexity;
+    const double grad_in = params.dataset_bytes + replicated_model;
+    const double grad_out = params.gradient_fraction * replicated_model;
+    grad_cost.output_selectivity = grad_out / grad_in;
+    grad_cost.fixed_cpu_work = 1e6;
+    OpHandle grad = graph.CreateOp(ResourceType::kCpu, "grad" + suffix)
+                        .Read(data)
+                        .Read(replicated)
+                        .Create(grads)
+                        .SetCost(grad_cost)
+                        .SetM2i(1.5);
+    bcast.To(grad, DepKind::kAsync);
+
+    // Aggregate gradients to a few reducers, then update the model.
+    const DataId agg = graph.CreateData(p_small, "agg" + suffix);
+    OpHandle aggregate = graph.CreateOp(ResourceType::kNetwork, "agg" + suffix)
+                             .Read(grads)
+                             .Create(agg);
+    grad.To(aggregate, DepKind::kSync);
+
+    params_data = graph.CreateData(p_small, "params" + std::to_string(k + 1));
+    OpCostModel upd_cost;
+    upd_cost.cpu_complexity = 1.0;
+    upd_cost.output_selectivity = replicated_model / grad_out;
+    OpHandle update = graph.CreateOp(ResourceType::kCpu, "update" + suffix)
+                          .Read(agg)
+                          .Create(params_data)
+                          .SetCost(upd_cost);
+    aggregate.To(update, DepKind::kAsync);
+    prev_cpu = update;
+  }
+
+  // Persist the final model.
+  OpHandle write = graph.CreateOp(ResourceType::kDisk, "write")
+                       .Read(params_data)
+                       .SetParallelism(p_small);
+  prev_cpu.To(write, DepKind::kAsync);
+
+  graph.Validate();
+  return spec;
+}
+
+}  // namespace ursa

@@ -1,0 +1,34 @@
+// Iterative machine-learning jobs (LR, k-means): per iteration, a broadcast
+// of the model, a CPU-heavy gradient/assignment pass over the cached
+// training data, and a network aggregation - producing the regular
+// CPU/network alternation of Figures 1a/1b.
+#ifndef SRC_WORKLOADS_ML_H_
+#define SRC_WORKLOADS_ML_H_
+
+#include "src/workloads/workload.h"
+
+namespace ursa {
+
+struct MlJobParams {
+  std::string name = "lr";
+  int iterations = 12;
+  double dataset_bytes = 50.0 * 1024 * 1024 * 1024;
+  double model_bytes = 64.0 * 1024 * 1024;
+  // CPU byte-equivalents of work per training-data byte per iteration.
+  double complexity = 6.0;
+  int parallelism = 320;
+  // Gradient compression: aggregate bytes produced per task relative to the
+  // model size.
+  double gradient_fraction = 0.5;
+};
+
+// Logistic regression on a webspam-sized dataset (paper's LR job).
+MlJobParams LrParams();
+// k-means on an mnist8m-sized dataset.
+MlJobParams KmeansParams();
+
+JobSpec BuildMlJob(const MlJobParams& params, uint64_t seed);
+
+}  // namespace ursa
+
+#endif  // SRC_WORKLOADS_ML_H_

@@ -1,0 +1,23 @@
+// TPC-DS-shaped workload: 200 jobs like the TPC-H workload but with much
+// deeper DAGs (paper: depth 5-43, mean 9), partitioned tables that produce
+// many small tasks on the small databases, and single-job JCTs of 9-212 s.
+#ifndef SRC_WORKLOADS_TPCDS_H_
+#define SRC_WORKLOADS_TPCDS_H_
+
+#include "src/workloads/sql_builder.h"
+#include "src/workloads/workload.h"
+
+namespace ursa {
+
+struct TpcdsWorkloadConfig {
+  int num_jobs = 200;
+  double submit_interval = 5.0;
+  uint64_t seed = 77;
+};
+
+JobSpec MakeTpcdsQuery(int query, double db_bytes, uint64_t seed);
+Workload MakeTpcdsWorkload(const TpcdsWorkloadConfig& config);
+
+}  // namespace ursa
+
+#endif  // SRC_WORKLOADS_TPCDS_H_

@@ -1,0 +1,32 @@
+// TPC-H-shaped workload generator (section 5, "Workloads"): 200 jobs drawn
+// uniformly from 22 query templates, each run against a 200 GB / 500 GB /
+// 1 TB database with probability 60% / 30% / 10%, submitted every 5 seconds.
+// DAG depths range 2-10; individually-executed JCTs land in the paper's
+// 3-297 s band (see tests/workloads_test.cc for the calibration check).
+#ifndef SRC_WORKLOADS_TPCH_H_
+#define SRC_WORKLOADS_TPCH_H_
+
+#include "src/workloads/sql_builder.h"
+#include "src/workloads/workload.h"
+
+namespace ursa {
+
+struct TpchWorkloadConfig {
+  int num_jobs = 200;
+  double submit_interval = 5.0;
+  uint64_t seed = 42;
+};
+
+// One of the 22 query templates; `query` in [1, 22].
+JobSpec MakeTpchQuery(int query, double db_bytes, uint64_t seed);
+
+// The full 200-job online workload.
+Workload MakeTpchWorkload(const TpchWorkloadConfig& config);
+
+// TPC-H2 (section 5.2): 25 jobs with deeper DAGs (average depth ~7) and
+// more heterogeneous, skewed tasks, submitted in a burst.
+Workload MakeTpch2Workload(uint64_t seed);
+
+}  // namespace ursa
+
+#endif  // SRC_WORKLOADS_TPCH_H_

@@ -1,0 +1,27 @@
+// Shared workload types: a Workload is a list of JobSpecs with submission
+// times. Generators in this directory synthesize jobs whose DAG shapes, data
+// volumes and skew match the statistics the paper reports for its TPC-H /
+// TPC-DS / ML / graph workloads (section 5, "Workloads").
+#ifndef SRC_WORKLOADS_WORKLOAD_H_
+#define SRC_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/dag/job.h"
+
+namespace ursa {
+
+struct WorkloadJob {
+  JobSpec spec;
+  double submit_time = 0.0;
+};
+
+struct Workload {
+  std::string name;
+  std::vector<WorkloadJob> jobs;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,119 @@
+// Tests for the JM-side resource usage estimation (section 4.2.1): per-read
+// input resolution, network pull aggregation per source worker, and the
+// min(r * M(j), m2i * I(t)) memory formula.
+#include <gtest/gtest.h>
+
+#include "src/exec/estimator.h"
+
+namespace ursa {
+namespace {
+
+std::unique_ptr<Job> ReduceByKeyJob(int in_parts, int out_parts, double part_bytes,
+                                    double m2i = 0.0, double declared = 1e9) {
+  JobSpec spec;
+  spec.name = "job";
+  spec.declared_memory_bytes = declared;
+  spec.default_m2i = 2.0;
+  OpGraph& graph = spec.graph;
+  const DataId input = graph.CreateExternalData(
+      std::vector<double>(static_cast<size_t>(in_parts), part_bytes), "in");
+  const DataId msg = graph.CreateData(in_parts, "msg");
+  const DataId shuffled = graph.CreateData(out_parts, "shuffled");
+  const DataId result = graph.CreateData(out_parts, "result");
+  OpHandle ser = graph.CreateOp(ResourceType::kCpu, "ser").Read(input).Create(msg);
+  if (m2i > 0.0) {
+    ser.SetM2i(m2i);
+  }
+  OpHandle shuffle =
+      graph.CreateOp(ResourceType::kNetwork, "shuffle").Read(msg).Create(shuffled);
+  OpHandle deser = graph.CreateOp(ResourceType::kCpu, "deser").Read(shuffled).Create(result);
+  ser.To(shuffle, DepKind::kSync);
+  shuffle.To(deser, DepKind::kAsync);
+  return Job::Create(0, std::move(spec));
+}
+
+TEST(Estimator, ExternalReadUsesDeclaredSizes) {
+  const auto job = ReduceByKeyJob(4, 2, 100.0);
+  MetadataStore meta;
+  // Stage 0 task 0 = ser monotask on partition 0.
+  const TaskId t = job->plan.stage(0).tasks[0];
+  const MonotaskId m = job->plan.task(t).monotasks[0];
+  EXPECT_DOUBLE_EQ(UsageEstimator::MonotaskInputBytes(*job, m, meta, nullptr), 100.0);
+}
+
+TEST(Estimator, GatherSumsSlicesAcrossPartitions) {
+  const auto job = ReduceByKeyJob(4, 2, 100.0);
+  MetadataStore meta;
+  // The ser outputs are materialized: partitions of `msg` (DataId 1).
+  for (int p = 0; p < 4; ++p) {
+    meta.Put(job->id, 1, p, 50.0, /*worker=*/p % 2);
+  }
+  const TaskId t = job->plan.stage(1).tasks[0];
+  const MonotaskId net = job->plan.task(t).monotasks[0];
+  // Uniform weights: slice 0 of each of 4 partitions = 50 / 2 each = 100.
+  EXPECT_NEAR(UsageEstimator::MonotaskInputBytes(*job, net, meta, nullptr), 100.0, 1e-9);
+  // Pulls aggregate per source worker: two workers x 50 bytes.
+  const auto pulls = UsageEstimator::ResolvePulls(*job, net, meta);
+  ASSERT_EQ(pulls.size(), 2u);
+  EXPECT_NEAR(pulls[0].bytes, 50.0, 1e-9);
+  EXPECT_NEAR(pulls[1].bytes, 50.0, 1e-9);
+}
+
+TEST(Estimator, TaskUsagePropagatesThroughInTaskChain) {
+  const auto job = ReduceByKeyJob(4, 2, 100.0);
+  MetadataStore meta;
+  for (int p = 0; p < 4; ++p) {
+    meta.Put(job->id, 1, p, 60.0, 0);
+  }
+  const TaskId t = job->plan.stage(1).tasks[0];
+  const TaskUsage usage = UsageEstimator::EstimateTask(*job, t, meta, 0.0);
+  // Network monotask input: 240 / 2 = 120. The CPU monotask consumes the
+  // projected shuffle output (selectivity 1) = 120.
+  EXPECT_NEAR(usage.bytes[static_cast<size_t>(ResourceType::kNetwork)], 120.0, 1e-9);
+  EXPECT_NEAR(usage.bytes[static_cast<size_t>(ResourceType::kCpu)], 120.0, 1e-9);
+  // Task input = root monotask (network) bytes only.
+  EXPECT_NEAR(usage.input_bytes, 120.0, 1e-9);
+}
+
+TEST(Estimator, MemoryUsesM2iCap) {
+  // Big declared memory: the m2i * I(t) term must win.
+  const auto job = ReduceByKeyJob(2, 2, 1e9, /*m2i=*/1.5, /*declared=*/1e10);
+  MetadataStore meta;
+  const TaskId t = job->plan.stage(0).tasks[0];
+  const TaskUsage usage = UsageEstimator::EstimateTask(*job, t, meta, /*ready_total=*/2e9);
+  EXPECT_NEAR(usage.memory, 1.5 * 1e9, 1.0);
+}
+
+TEST(Estimator, MemoryUsesShareOfDeclaredCap) {
+  // Small declared memory: r * M(j) must win. r = 0.5 (this task is half
+  // the ready input).
+  const auto job = ReduceByKeyJob(2, 2, 1e9, /*m2i=*/3.0);
+  MetadataStore meta;
+  const TaskId t = job->plan.stage(0).tasks[0];
+  const TaskUsage usage = UsageEstimator::EstimateTask(*job, t, meta, /*ready_total=*/2e9);
+  EXPECT_NEAR(usage.memory, 0.5 * 1e9, 1.0);
+}
+
+TEST(Estimator, MemoryHasFloor) {
+  const auto job = ReduceByKeyJob(2, 2, 8.0);
+  MetadataStore meta;
+  const TaskId t = job->plan.stage(0).tasks[0];
+  const TaskUsage usage = UsageEstimator::EstimateTask(*job, t, meta, 16.0);
+  EXPECT_GE(usage.memory, 16.0 * 1024 * 1024);
+}
+
+TEST(MetadataStore, PutGetDrop) {
+  MetadataStore meta;
+  meta.Put(1, 2, 3, 42.0, 4);
+  EXPECT_TRUE(meta.Has(1, 2, 3));
+  EXPECT_DOUBLE_EQ(meta.Get(1, 2, 3).bytes, 42.0);
+  EXPECT_EQ(meta.Get(1, 2, 3).worker, 4);
+  meta.Put(1, 2, 4, 8.0, 0);
+  EXPECT_DOUBLE_EQ(meta.DatasetBytes(1, 2, 8), 50.0);
+  meta.DropJob(1);
+  EXPECT_FALSE(meta.Has(1, 2, 3));
+  EXPECT_EQ(meta.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ursa

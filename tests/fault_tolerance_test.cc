@@ -1,0 +1,105 @@
+// Fault tolerance (section 4.3): worker failure detection and job restart
+// from the input checkpoint.
+#include <gtest/gtest.h>
+
+#include "src/scheduler/ursa_scheduler.h"
+#include "src/workloads/tpch.h"
+
+namespace ursa {
+namespace {
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  FaultToleranceTest() {
+    config_.num_workers = 4;
+    config_.worker.cores = 8;
+    config_.worker.cpu_byte_rate = 100e6;
+    cluster_ = std::make_unique<Cluster>(&sim_, config_);
+  }
+
+  Simulator sim_;
+  ClusterConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(FaultToleranceTest, FailedWorkerDropsWorkAndRejectsSubmissions) {
+  Worker& worker = cluster_->worker(0);
+  int completed = 0;
+  RunnableMonotask mt;
+  mt.type = ResourceType::kCpu;
+  mt.work = 100e6;  // 1 second.
+  mt.input_bytes = 100e6;
+  mt.on_complete = [&] { ++completed; };
+  worker.Submit(std::move(mt));
+  sim_.Schedule(0.5, [&] { worker.Fail(); });
+  sim_.Run();
+  EXPECT_EQ(completed, 0);  // In-flight completion suppressed.
+  EXPECT_FALSE(worker.TryAllocateMemory(1.0));
+  // Trackers stopped at the failure instant.
+  EXPECT_DOUBLE_EQ(worker.cpu_busy_tracker().current(), 0.0);
+}
+
+TEST_F(FaultToleranceTest, JobsRestartAndFinishAfterWorkerFailure) {
+  UrsaSchedulerConfig sc;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 4;
+  wc.submit_interval = 1.0;
+  wc.seed = 31;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  // Kill a worker mid-flight.
+  sim_.Schedule(10.0, [&] { EXPECT_GT(scheduler.FailWorker(1), 0); });
+  sim_.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished());
+  EXPECT_GT(scheduler.total_restarts(), 0);
+  // No monotask ever completed on the dead worker after the failure, and
+  // the remaining workers carried the load.
+  EXPECT_FALSE(cluster_->worker(0).failed());
+  for (const JobRecord& record : scheduler.job_records()) {
+    EXPECT_GE(record.finish_time, 0.0) << record.name;
+  }
+  // Healthy workers end with clean memory accounting (1-byte tolerance for
+  // floating-point residue across the restart's allocate/release cycles).
+  for (int w = 0; w < cluster_->size(); ++w) {
+    if (!cluster_->worker(w).failed()) {
+      EXPECT_NEAR(cluster_->worker(w).free_memory(),
+                  cluster_->worker(w).memory_capacity(), 1.0);
+    }
+  }
+}
+
+TEST_F(FaultToleranceTest, UnaffectedJobsAreNotRestarted) {
+  UrsaSchedulerConfig sc;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 2;
+  wc.submit_interval = 0.5;
+  wc.seed = 33;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  // Fail a worker after everything finished: nothing to restart.
+  sim_.Run();
+  ASSERT_TRUE(scheduler.AllJobsFinished());
+  EXPECT_EQ(scheduler.FailWorker(2), 0);
+  EXPECT_EQ(scheduler.total_restarts(), 0);
+}
+
+TEST_F(FaultToleranceTest, DoubleFailureIsIdempotent) {
+  UrsaSchedulerConfig sc;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  scheduler.FailWorker(3);
+  EXPECT_EQ(scheduler.FailWorker(3), 0);
+  EXPECT_TRUE(cluster_->worker(3).failed());
+}
+
+}  // namespace
+}  // namespace ursa

@@ -1,0 +1,156 @@
+#include "src/net/flow_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace ursa {
+namespace {
+
+constexpr double kGbps = 1e9 / 8.0;
+
+TEST(FlowSimulator, SingleFlowUsesFullDownlink) {
+  Simulator sim;
+  FlowSimulator net(&sim, 2, 10 * kGbps, 10 * kGbps);
+  double done_at = -1.0;
+  net.StartFlow(0, 1, 10 * kGbps /*= 1 second of bytes*/, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done_at, 1.0, 1e-6);
+}
+
+TEST(FlowSimulator, TwoFlowsShareReceiverDownlink) {
+  Simulator sim;
+  FlowSimulator net(&sim, 3, 10 * kGbps, 10 * kGbps);
+  double done0 = -1.0;
+  double done1 = -1.0;
+  net.StartFlow(0, 2, 10 * kGbps, [&] { done0 = sim.Now(); });
+  net.StartFlow(1, 2, 10 * kGbps, [&] { done1 = sim.Now(); });
+  sim.Run();
+  // Each gets half the downlink: both complete at ~2 s.
+  EXPECT_NEAR(done0, 2.0, 1e-6);
+  EXPECT_NEAR(done1, 2.0, 1e-6);
+}
+
+TEST(FlowSimulator, UplinkBottleneckEnforced) {
+  Simulator sim;
+  FlowSimulator net(&sim, 3, 10 * kGbps, 10 * kGbps);
+  net.set_enforce_uplinks(true);
+  // One sender fanning out to two receivers: uplink is the bottleneck.
+  double done0 = -1.0;
+  double done1 = -1.0;
+  net.StartFlow(0, 1, 10 * kGbps, [&] { done0 = sim.Now(); });
+  net.StartFlow(0, 2, 10 * kGbps, [&] { done1 = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(done0, 2.0, 1e-6);
+  EXPECT_NEAR(done1, 2.0, 1e-6);
+}
+
+TEST(FlowSimulator, ReceiverOnlyModeIgnoresUplink) {
+  Simulator sim;
+  FlowSimulator net(&sim, 3, 10 * kGbps, 10 * kGbps);
+  net.set_enforce_uplinks(false);
+  double done0 = -1.0;
+  double done1 = -1.0;
+  net.StartFlow(0, 1, 10 * kGbps, [&] { done0 = sim.Now(); });
+  net.StartFlow(0, 2, 10 * kGbps, [&] { done1 = sim.Now(); });
+  sim.Run();
+  // Different receivers, uplink unconstrained: both finish in 1 s.
+  EXPECT_NEAR(done0, 1.0, 1e-6);
+  EXPECT_NEAR(done1, 1.0, 1e-6);
+}
+
+TEST(FlowSimulator, MaxMinGivesBottleneckedFlowItsFairShare) {
+  Simulator sim;
+  FlowSimulator net(&sim, 4, 10 * kGbps, 10 * kGbps);
+  net.set_enforce_uplinks(true);
+  // Flows: A:0->2, B:1->2 (share downlink of 2), C:1->3.
+  // Max-min: A and B get 5 Gbps each; C gets the remaining uplink of 1,
+  // which is 5 Gbps (uplink 10 - B's 5).
+  net.StartFlow(0, 2, 1e12, nullptr);
+  const FlowId b = net.StartFlow(1, 2, 1e12, nullptr);
+  const FlowId c = net.StartFlow(1, 3, 1e12, nullptr);
+  net.RecomputeForTest();
+  EXPECT_NEAR(net.FlowRateForTest(b), 5 * kGbps, 1e3);
+  EXPECT_NEAR(net.FlowRateForTest(c), 5 * kGbps, 1e3);
+  EXPECT_NEAR(net.NodeRxRate(2), 10 * kGbps, 1e3);
+}
+
+TEST(FlowSimulator, LocalFlowsBypassLinks) {
+  Simulator sim;
+  FlowSimulator net(&sim, 2, 10 * kGbps, 10 * kGbps);
+  net.set_local_copy_rate(1e9);
+  double done = -1.0;
+  net.StartFlow(0, 0, 2e9, [&] { done = sim.Now(); });
+  net.StartFlow(0, 1, 1e12, nullptr);  // Unrelated remote flow.
+  sim.Run(3.0);
+  EXPECT_NEAR(done, 2.0, 1e-6);
+  EXPECT_DOUBLE_EQ(net.NodeRxRate(0), 0.0);  // Local copy not counted as rx.
+}
+
+TEST(FlowSimulator, CancelDropsCallback) {
+  Simulator sim;
+  FlowSimulator net(&sim, 2, 10 * kGbps, 10 * kGbps);
+  bool fired = false;
+  const FlowId id = net.StartFlow(0, 1, 10 * kGbps, [&] { fired = true; });
+  sim.Run(0.5);
+  net.CancelFlow(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST(FlowSimulator, ZeroByteFlowCompletesImmediately) {
+  Simulator sim;
+  FlowSimulator net(&sim, 2, 10 * kGbps, 10 * kGbps);
+  bool fired = false;
+  net.StartFlow(0, 1, 0.0, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(FlowSimulator, RxTrackerRecordsReceiveRate) {
+  Simulator sim;
+  FlowSimulator net(&sim, 2, 10 * kGbps, 10 * kGbps);
+  net.StartFlow(0, 1, 10 * kGbps, nullptr);  // 1 s at full rate.
+  sim.Run();
+  EXPECT_NEAR(net.rx_tracker(1).Integral(0.0, 2.0), 10 * kGbps, 1e3);
+}
+
+// Property: total delivered bytes equal the sum of all completed flow sizes,
+// and no link's rate ever exceeds capacity.
+class FlowConservation : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlowConservation, BytesConservedAndCapacitiesRespected) {
+  Simulator sim;
+  const int nodes = 6;
+  FlowSimulator net(&sim, nodes, 10 * kGbps, 10 * kGbps);
+  net.set_enforce_uplinks(true);
+  Rng rng(GetParam());
+  double total = 0.0;
+  int completed = 0;
+  const int kFlows = 40;
+  for (int i = 0; i < kFlows; ++i) {
+    const int src = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(nodes)));
+    int dst = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(nodes)));
+    if (dst == src) {
+      dst = (dst + 1) % nodes;
+    }
+    const double bytes = rng.Uniform(1e6, 5e9);
+    total += bytes;
+    sim.Schedule(rng.Uniform(0.0, 5.0), [&net, &completed, src, dst, bytes] {
+      net.StartFlow(src, dst, bytes, [&completed] { ++completed; });
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, kFlows);
+  EXPECT_NEAR(net.total_bytes_delivered(), total, total * 1e-6 + kFlows);
+  for (int n = 0; n < nodes; ++n) {
+    EXPECT_LE(net.rx_tracker(n).Max(0.0, 1e9), 10 * kGbps * 1.0000001);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowConservation, ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ursa

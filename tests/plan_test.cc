@@ -1,0 +1,236 @@
+// Tests for OpGraph construction/validation and the execution-plan compiler
+// (monotask generation, CPU-chain collapsing, task/stage derivation) -
+// the semantics of sections 4.1.1 and 4.1.3 / Figure 3.
+#include <gtest/gtest.h>
+
+#include "src/dag/job.h"
+#include "src/dag/plan.h"
+
+namespace ursa {
+namespace {
+
+// The paper's reduceByKey skeleton: ser(CPU) -sync-> shuffle(NET) -async->
+// deser(CPU).
+OpGraph ReduceByKeyGraph(int in_parts, int out_parts) {
+  OpGraph graph;
+  const DataId input =
+      graph.CreateExternalData(std::vector<double>(static_cast<size_t>(in_parts), 100.0), "in");
+  const DataId msg = graph.CreateData(in_parts, "msg");
+  const DataId shuffled = graph.CreateData(out_parts, "shuffled");
+  const DataId result = graph.CreateData(out_parts, "result");
+  OpHandle ser = graph.CreateOp(ResourceType::kCpu, "ser").Read(input).Create(msg);
+  OpHandle shuffle =
+      graph.CreateOp(ResourceType::kNetwork, "shuffle").Read(msg).Create(shuffled);
+  OpHandle deser = graph.CreateOp(ResourceType::kCpu, "deser").Read(shuffled).Create(result);
+  ser.To(shuffle, DepKind::kSync);
+  shuffle.To(deser, DepKind::kAsync);
+  return graph;
+}
+
+TEST(OpGraph, ValidatesReduceByKeySkeleton) {
+  OpGraph graph = ReduceByKeyGraph(4, 2);
+  graph.Validate();
+  EXPECT_EQ(graph.Depth(), 3);
+  EXPECT_EQ(graph.OpParallelism(0), 4);  // ser
+  EXPECT_EQ(graph.OpParallelism(1), 2);  // shuffle (creates 2 partitions)
+  EXPECT_DOUBLE_EQ(graph.TotalExternalInputBytes(), 400.0);
+}
+
+TEST(OpGraphDeath, SyncIntoCpuOpRejected) {
+  OpGraph graph;
+  const DataId a = graph.CreateExternalData({1.0}, "a");
+  const DataId b = graph.CreateData(1, "b");
+  const DataId c = graph.CreateData(1, "c");
+  OpHandle op1 = graph.CreateOp(ResourceType::kCpu, "op1").Read(a).Create(b);
+  OpHandle op2 = graph.CreateOp(ResourceType::kCpu, "op2").Read(b).Create(c);
+  op1.To(op2, DepKind::kSync);
+  EXPECT_DEATH(graph.Validate(), "sync dependency into non-network op");
+}
+
+TEST(OpGraphDeath, AsyncParallelismMismatchRejected) {
+  OpGraph graph;
+  const DataId a = graph.CreateExternalData({1.0, 1.0}, "a");
+  const DataId b = graph.CreateData(2, "b");
+  const DataId c = graph.CreateData(3, "c");
+  OpHandle op1 = graph.CreateOp(ResourceType::kCpu, "op1").Read(a).Create(b);
+  OpHandle op2 = graph.CreateOp(ResourceType::kNetwork, "op2").Read(b).Create(c);
+  // Async into network with mismatched parallelism (2 vs 3).
+  op1.To(op2, DepKind::kAsync);
+  EXPECT_DEATH(graph.Validate(), "mismatched parallelism");
+}
+
+TEST(OpGraphDeath, CycleRejected) {
+  OpGraph graph;
+  const DataId a = graph.CreateData(2, "a");
+  const DataId b = graph.CreateData(2, "b");
+  OpHandle op1 = graph.CreateOp(ResourceType::kNetwork, "op1").Read(b).Create(a);
+  OpHandle op2 = graph.CreateOp(ResourceType::kNetwork, "op2").Read(a).Create(b);
+  op1.To(op2, DepKind::kAsync);
+  op2.To(op1, DepKind::kAsync);
+  EXPECT_DEATH(graph.Validate(), "cycle");
+}
+
+TEST(Plan, ReduceByKeyStructureMatchesFigure3Semantics) {
+  const ExecutionPlan plan = ExecutionPlan::Build(ReduceByKeyGraph(4, 2), 1);
+  // Stage 0: ser x4 tasks; stage 1: shuffle+deser x2 tasks.
+  ASSERT_EQ(plan.stages().size(), 2u);
+  EXPECT_EQ(plan.stage(0).num_tasks, 4);
+  EXPECT_EQ(plan.stage(1).num_tasks, 2);
+  EXPECT_EQ(plan.tasks().size(), 6u);
+  EXPECT_EQ(plan.monotasks().size(), 4u + 2u * 2u);
+  // Stage 1 tasks sync-depend on stage 0 (barrier), with no async parents.
+  for (TaskId t : plan.stage(1).tasks) {
+    EXPECT_EQ(plan.task(t).sync_parent_stages, std::vector<StageId>{0});
+    EXPECT_TRUE(plan.task(t).async_parents.empty());
+    // Network monotask first, then the CPU monotask depending on it.
+    ASSERT_EQ(plan.task(t).monotasks.size(), 2u);
+    const MonotaskSpec& net = plan.monotask(plan.task(t).monotasks[0]);
+    const MonotaskSpec& cpu = plan.monotask(plan.task(t).monotasks[1]);
+    EXPECT_EQ(net.type, ResourceType::kNetwork);
+    EXPECT_EQ(cpu.type, ResourceType::kCpu);
+    EXPECT_EQ(cpu.intask_deps, std::vector<MonotaskId>{net.id});
+  }
+  // The shuffle gathers slices of the msg dataset.
+  const CollapsedOp& shuffle_cop = plan.cop(plan.monotask(plan.task(plan.stage(1).tasks[0])
+                                                              .monotasks[0])
+                                                .cop);
+  ASSERT_EQ(shuffle_cop.read_modes.size(), 1u);
+  EXPECT_EQ(shuffle_cop.read_modes[0], ReadMode::kGatherSlices);
+}
+
+TEST(Plan, CpuChainsCollapse) {
+  OpGraph graph;
+  const DataId input = graph.CreateExternalData(std::vector<double>(3, 10.0), "in");
+  const DataId a = graph.CreateData(3, "a");
+  const DataId b = graph.CreateData(3, "b");
+  const DataId c = graph.CreateData(3, "c");
+  OpCostModel cost1;
+  cost1.cpu_complexity = 2.0;
+  cost1.output_selectivity = 0.5;
+  OpCostModel cost2;
+  cost2.cpu_complexity = 4.0;
+  cost2.output_selectivity = 0.5;
+  OpHandle op1 = graph.CreateOp(ResourceType::kCpu, "m1").Read(input).Create(a).SetCost(cost1);
+  OpHandle op2 = graph.CreateOp(ResourceType::kCpu, "m2").Read(a).Create(b).SetCost(cost2);
+  OpHandle op3 = graph.CreateOp(ResourceType::kCpu, "m3").Read(b).Create(c).SetCost(cost1);
+  op1.To(op2, DepKind::kAsync);
+  op2.To(op3, DepKind::kAsync);
+  const ExecutionPlan plan = ExecutionPlan::Build(graph, 1);
+  ASSERT_EQ(plan.cops().size(), 1u);
+  const CollapsedOp& cop = plan.cop(0);
+  EXPECT_EQ(cop.members.size(), 3u);
+  // Composed complexity: c1 + s1*c2 + s1*s2*c3 = 2 + 0.5*4 + 0.25*2 = 4.5.
+  EXPECT_DOUBLE_EQ(cop.cost.cpu_complexity, 4.5);
+  // Composed selectivity: 0.5^3.
+  EXPECT_DOUBLE_EQ(cop.cost.output_selectivity, 0.125);
+  EXPECT_EQ(plan.monotasks().size(), 3u);  // One per partition.
+  EXPECT_EQ(plan.stages().size(), 1u);
+}
+
+TEST(Plan, ChainWithSideReaderDoesNotCollapse) {
+  OpGraph graph;
+  const DataId input = graph.CreateExternalData(std::vector<double>(2, 10.0), "in");
+  const DataId a = graph.CreateData(2, "a");
+  const DataId b = graph.CreateData(2, "b");
+  const DataId shuffled = graph.CreateData(2, "sh");
+  OpHandle op1 = graph.CreateOp(ResourceType::kCpu, "p1").Read(input).Create(a);
+  OpHandle op2 = graph.CreateOp(ResourceType::kCpu, "p2").Read(a).Create(b);
+  OpHandle net = graph.CreateOp(ResourceType::kNetwork, "n").Read(a).Create(shuffled);
+  op1.To(op2, DepKind::kAsync);
+  op1.To(net, DepKind::kSync);
+  const ExecutionPlan plan = ExecutionPlan::Build(graph, 1);
+  // `a` has two readers, so p1/p2 must stay separate cops.
+  EXPECT_EQ(plan.cops().size(), 3u);
+}
+
+TEST(Plan, JoinTaskContainsBothShuffles) {
+  // Two upstream stages shuffle into one join stage: each join task holds
+  // two network monotasks and one CPU monotask (Figure 3's pattern).
+  OpGraph graph;
+  const DataId left = graph.CreateExternalData(std::vector<double>(4, 10.0), "left");
+  const DataId right = graph.CreateExternalData(std::vector<double>(4, 20.0), "right");
+  const DataId lmsg = graph.CreateData(4, "lmsg");
+  const DataId rmsg = graph.CreateData(4, "rmsg");
+  const DataId lsh = graph.CreateData(2, "lsh");
+  const DataId rsh = graph.CreateData(2, "rsh");
+  const DataId out = graph.CreateData(2, "out");
+  OpHandle lscan = graph.CreateOp(ResourceType::kCpu, "lscan").Read(left).Create(lmsg);
+  OpHandle rscan = graph.CreateOp(ResourceType::kCpu, "rscan").Read(right).Create(rmsg);
+  OpHandle lshuf = graph.CreateOp(ResourceType::kNetwork, "lshuf").Read(lmsg).Create(lsh);
+  OpHandle rshuf = graph.CreateOp(ResourceType::kNetwork, "rshuf").Read(rmsg).Create(rsh);
+  OpHandle join = graph.CreateOp(ResourceType::kCpu, "join").Read(lsh).Read(rsh).Create(out);
+  lscan.To(lshuf, DepKind::kSync);
+  rscan.To(rshuf, DepKind::kSync);
+  lshuf.To(join, DepKind::kAsync);
+  rshuf.To(join, DepKind::kAsync);
+  const ExecutionPlan plan = ExecutionPlan::Build(graph, 1);
+  ASSERT_EQ(plan.stages().size(), 3u);
+  const StageSpec* join_stage = nullptr;
+  for (const StageSpec& stage : plan.stages()) {
+    if (stage.cops.size() == 3) {
+      join_stage = &stage;
+    }
+  }
+  ASSERT_NE(join_stage, nullptr);
+  EXPECT_EQ(join_stage->num_tasks, 2);
+  const TaskSpec& task = plan.task(join_stage->tasks[0]);
+  ASSERT_EQ(task.monotasks.size(), 3u);
+  EXPECT_EQ(task.sync_parent_stages.size(), 2u);
+  // The CPU join monotask depends on both network monotasks.
+  const MonotaskSpec& cpu = plan.monotask(task.monotasks[2]);
+  EXPECT_EQ(cpu.type, ResourceType::kCpu);
+  EXPECT_EQ(cpu.intask_deps.size(), 2u);
+}
+
+TEST(Plan, SliceWeightsNormalizedToMeanOne) {
+  OpGraph graph = ReduceByKeyGraph(4, 8);
+  OpDef& shuffle = graph.op(1);
+  shuffle.cost.output_skew = 3.0;
+  const ExecutionPlan plan = ExecutionPlan::Build(graph, 99);
+  for (const CollapsedOp& cop : plan.cops()) {
+    double total = 0.0;
+    for (double w : cop.slice_weights) {
+      total += w;
+      EXPECT_GT(w, 0.0);
+    }
+    EXPECT_NEAR(total / cop.parallelism, 1.0, 1e-9);
+  }
+}
+
+TEST(Plan, DeterministicForFixedSeed) {
+  OpGraph graph1 = ReduceByKeyGraph(4, 8);
+  graph1.op(1).cost.output_skew = 2.5;
+  OpGraph graph2 = ReduceByKeyGraph(4, 8);
+  graph2.op(1).cost.output_skew = 2.5;
+  const ExecutionPlan a = ExecutionPlan::Build(graph1, 5);
+  const ExecutionPlan b = ExecutionPlan::Build(graph2, 5);
+  const ExecutionPlan c = ExecutionPlan::Build(graph2, 6);
+  for (size_t i = 0; i < a.cops().size(); ++i) {
+    EXPECT_EQ(a.cop(static_cast<int>(i)).slice_weights,
+              b.cop(static_cast<int>(i)).slice_weights);
+  }
+  EXPECT_NE(a.cop(1).slice_weights, c.cop(1).slice_weights);
+}
+
+TEST(Plan, ExpectedWorkFollowsSelectivities) {
+  OpGraph graph = ReduceByKeyGraph(4, 2);
+  graph.op(0).cost.output_selectivity = 0.5;  // ser
+  const auto work = ExecutionPlan::Build(graph, 1).ExpectedWorkByResource();
+  // CPU: ser reads 400 + deser reads 200 (post-selectivity shuffle output).
+  EXPECT_DOUBLE_EQ(work[static_cast<size_t>(ResourceType::kCpu)], 600.0);
+  EXPECT_DOUBLE_EQ(work[static_cast<size_t>(ResourceType::kNetwork)], 200.0);
+  EXPECT_DOUBLE_EQ(work[static_cast<size_t>(ResourceType::kDisk)], 0.0);
+}
+
+TEST(Job, CreateCompilesPlanAndChecksMemory) {
+  JobSpec spec;
+  spec.name = "j";
+  spec.graph = ReduceByKeyGraph(2, 2);
+  spec.declared_memory_bytes = 1e9;
+  const auto job = Job::Create(7, std::move(spec));
+  EXPECT_EQ(job->id, 7);
+  EXPECT_EQ(job->plan.stages().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ursa

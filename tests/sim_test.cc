@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace ursa {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Push(3.0, [&] { fired.push_back(3); });
+  queue.Push(1.0, [&] { fired.push_back(1); });
+  queue.Push(2.0, [&] { fired.push_back(2); });
+  while (!queue.Empty()) {
+    queue.Pop().cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.Push(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.Empty()) {
+    queue.Pop().cb();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.Push(1.0, [&] { fired = true; });
+  queue.Push(2.0, [] {});
+  EXPECT_TRUE(queue.Cancel(id));
+  EXPECT_FALSE(queue.Cancel(id));  // Second cancel is a no-op.
+  while (!queue.Empty()) {
+    queue.Pop().cb();
+  }
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelHeadUpdatesNextTime) {
+  EventQueue queue;
+  const EventId id = queue.Push(1.0, [] {});
+  queue.Push(5.0, [] {});
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 1.0);
+  queue.Cancel(id);
+  EXPECT_DOUBLE_EQ(queue.NextTime(), 5.0);
+  EXPECT_EQ(queue.PendingCount(), 1u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(2.0, [&] { times.push_back(sim.Now()); });
+  sim.Schedule(1.0, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(0.5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0}));
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1.0, [&] { ++fired; });
+  sim.Schedule(10.0, [&] { ++fired; });
+  sim.Run(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Idle());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ZeroDelayFiresAtCurrentTime) {
+  Simulator sim;
+  double when = -1.0;
+  sim.Schedule(3.0, [&] {
+    sim.Schedule(0.0, [&] { when = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(when, 3.0);
+}
+
+TEST(Simulator, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, DeterministicInterleaving) {
+  // Two identical runs produce the identical firing sequence.
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      sim.Schedule(static_cast<double>((i * 37) % 11), [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ursa

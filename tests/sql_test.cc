@@ -1,0 +1,197 @@
+// Tests for the SQL layer: lexer/parser, plan compilation, and end-to-end
+// execution on LocalRuntime (scans, filters, joins, aggregation, ordering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/sql/engine.h"
+
+namespace ursa {
+namespace {
+
+SqlCatalog MakeSalesCatalog() {
+  SqlCatalog catalog;
+  // orders(id, customer, amount, region)
+  SqlSchema orders;
+  orders.columns = {{"id", SqlType::kInt64},
+                    {"customer", SqlType::kInt64},
+                    {"amount", SqlType::kDouble},
+                    {"region", SqlType::kString}};
+  std::vector<SqlRow> order_rows = {
+      {int64_t{1}, int64_t{100}, 25.0, std::string("east")},
+      {int64_t{2}, int64_t{100}, 75.0, std::string("east")},
+      {int64_t{3}, int64_t{101}, 10.0, std::string("west")},
+      {int64_t{4}, int64_t{102}, 50.0, std::string("west")},
+      {int64_t{5}, int64_t{103}, 99.0, std::string("north")},
+      {int64_t{6}, int64_t{101}, 30.0, std::string("east")},
+  };
+  catalog.CreateTable("orders", orders, order_rows, /*partitions=*/3);
+  // customers(cid, name)
+  SqlSchema customers;
+  customers.columns = {{"cid", SqlType::kInt64}, {"name", SqlType::kString}};
+  std::vector<SqlRow> customer_rows = {
+      {int64_t{100}, std::string("ada")},
+      {int64_t{101}, std::string("bob")},
+      {int64_t{102}, std::string("cyd")},
+      {int64_t{103}, std::string("dee")},
+  };
+  catalog.CreateTable("customers", customers, customer_rows, /*partitions=*/2);
+  return catalog;
+}
+
+TEST(SqlParser, ParsesFullStatement) {
+  const SelectStatement s = ParseSql(
+      "SELECT region, SUM(amount) AS total FROM orders JOIN customers ON "
+      "customer = cid WHERE amount > 20 GROUP BY region ORDER BY region DESC LIMIT 2");
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].column, "region");
+  EXPECT_EQ(s.items[1].agg, AggFn::kSum);
+  EXPECT_EQ(s.items[1].alias, "total");
+  EXPECT_EQ(s.from_table, "orders");
+  ASSERT_EQ(s.joins.size(), 1u);
+  EXPECT_EQ(s.joins[0].table, "customers");
+  ASSERT_EQ(s.where.size(), 1u);
+  EXPECT_EQ(s.where[0].op, CompareOp::kGt);
+  EXPECT_EQ(s.group_by, std::vector<std::string>{"region"});
+  ASSERT_TRUE(s.order_by.has_value());
+  EXPECT_TRUE(s.order_by->descending);
+  EXPECT_EQ(*s.limit, 2);
+}
+
+TEST(SqlParser, SelectStarAndQualifiedNames) {
+  const SelectStatement s = ParseSql("SELECT * FROM t WHERE t.x = 'abc'");
+  EXPECT_TRUE(s.items.empty());
+  EXPECT_EQ(s.where[0].column, "t.x");
+  EXPECT_EQ(std::get<std::string>(s.where[0].literal), "abc");
+}
+
+TEST(SqlParser, ReportsSyntaxErrors) {
+  SelectStatement s;
+  std::string error;
+  EXPECT_FALSE(TryParseSql("SELECT FROM t", &s, &error));
+  EXPECT_FALSE(TryParseSql("SELECT a FRAM t", &s, &error));
+  EXPECT_FALSE(TryParseSql("SELECT a FROM t WHERE a ~ 3", &s, &error));
+  EXPECT_FALSE(TryParseSql("SELECT a FROM t LIMIT xyz", &s, &error));
+  EXPECT_FALSE(TryParseSql("SELECT a FROM t WHERE s = 'unterminated", &s, &error));
+}
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  SqlEngineTest() : catalog_(MakeSalesCatalog()), engine_(&catalog_, 3) {}
+  SqlCatalog catalog_;
+  SqlEngine engine_;
+};
+
+TEST_F(SqlEngineTest, SelectStarScan) {
+  const SqlResult result = engine_.Execute("SELECT * FROM orders");
+  EXPECT_EQ(result.rows.size(), 6u);
+  EXPECT_EQ(result.schema.columns.size(), 4u);
+  EXPECT_EQ(result.schema.columns[0].name, "orders.id");
+}
+
+TEST_F(SqlEngineTest, FilterPushdown) {
+  const SqlResult result =
+      engine_.Execute("SELECT id FROM orders WHERE amount >= 50 AND region = 'west'");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][0]), 4);
+}
+
+TEST_F(SqlEngineTest, Projection) {
+  const SqlResult result = engine_.Execute("SELECT region, amount FROM orders");
+  EXPECT_EQ(result.rows.size(), 6u);
+  EXPECT_EQ(result.schema.columns[0].name, "region");
+  for (const SqlRow& row : result.rows) {
+    EXPECT_EQ(row.size(), 2u);
+    EXPECT_TRUE(std::holds_alternative<std::string>(row[0]));
+  }
+}
+
+TEST_F(SqlEngineTest, GlobalAggregates) {
+  const SqlResult result = engine_.Execute(
+      "SELECT COUNT(*), SUM(amount), MIN(amount), MAX(amount), AVG(amount) FROM orders");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][0]), 6);
+  EXPECT_DOUBLE_EQ(std::get<double>(result.rows[0][1]), 289.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(result.rows[0][2]), 10.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(result.rows[0][3]), 99.0);
+  EXPECT_NEAR(std::get<double>(result.rows[0][4]), 289.0 / 6.0, 1e-9);
+}
+
+TEST_F(SqlEngineTest, GroupByWithOrderBy) {
+  const SqlResult result = engine_.Execute(
+      "SELECT region, SUM(amount) AS total, COUNT(*) AS n FROM orders "
+      "GROUP BY region ORDER BY total DESC");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(result.rows[0][0]), "east");
+  EXPECT_DOUBLE_EQ(std::get<double>(result.rows[0][1]), 130.0);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][2]), 3);
+  EXPECT_EQ(std::get<std::string>(result.rows[1][0]), "north");
+  EXPECT_EQ(std::get<std::string>(result.rows[2][0]), "west");
+  EXPECT_DOUBLE_EQ(std::get<double>(result.rows[2][1]), 60.0);
+}
+
+TEST_F(SqlEngineTest, HashJoin) {
+  const SqlResult result = engine_.Execute(
+      "SELECT name, amount FROM orders JOIN customers ON customer = cid "
+      "WHERE amount > 40 ORDER BY amount");
+  ASSERT_EQ(result.rows.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(result.rows[0][0]), "cyd");   // 50
+  EXPECT_EQ(std::get<std::string>(result.rows[1][0]), "ada");   // 75
+  EXPECT_EQ(std::get<std::string>(result.rows[2][0]), "dee");   // 99
+}
+
+TEST_F(SqlEngineTest, JoinWithGroupBy) {
+  const SqlResult result = engine_.Execute(
+      "SELECT name, SUM(amount) AS total FROM orders JOIN customers ON "
+      "customer = cid GROUP BY name ORDER BY total DESC LIMIT 2");
+  ASSERT_EQ(result.rows.size(), 2u);
+  EXPECT_EQ(std::get<std::string>(result.rows[0][0]), "ada");  // 100.
+  EXPECT_DOUBLE_EQ(std::get<double>(result.rows[0][1]), 100.0);
+  EXPECT_EQ(std::get<std::string>(result.rows[1][0]), "dee");  // 99.
+}
+
+TEST_F(SqlEngineTest, LimitWithoutOrder) {
+  const SqlResult result = engine_.Execute("SELECT id FROM orders LIMIT 4");
+  EXPECT_EQ(result.rows.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, EmptyResultFromSelectiveFilter) {
+  const SqlResult result = engine_.Execute("SELECT id FROM orders WHERE amount > 1000");
+  EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(SqlEngineTest, CountOnEmptyTableIsZero) {
+  SqlSchema schema;
+  schema.columns = {{"x", SqlType::kInt64}};
+  catalog_.CreateTable("empty", schema, {}, 2);
+  const SqlResult result = engine_.Execute("SELECT COUNT(*) FROM empty");
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(std::get<int64_t>(result.rows[0][0]), 0);
+}
+
+TEST_F(SqlEngineTest, GroupByDistinctWithoutAggregates) {
+  const SqlResult result = engine_.Execute("SELECT region FROM orders GROUP BY region");
+  EXPECT_EQ(result.rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, CompileForSimulationProducesValidJob) {
+  const JobSpec spec = engine_.CompileForSimulation(
+      "SELECT region, SUM(amount) FROM orders JOIN customers ON customer = cid "
+      "GROUP BY region",
+      /*scale=*/1e6);
+  EXPECT_GT(spec.graph.TotalExternalInputBytes(), 1e6);
+  const ExecutionPlan plan = ExecutionPlan::Build(spec.graph, 1);
+  // Scans, two join shuffles, join, partial agg, agg shuffle, final agg.
+  EXPECT_GE(plan.stages().size(), 4u);
+  EXPECT_GT(plan.monotasks().size(), 6u);
+}
+
+TEST_F(SqlEngineTest, ResultToStringRenders) {
+  const SqlResult result = engine_.Execute("SELECT COUNT(*) FROM orders");
+  const std::string text = result.ToString();
+  EXPECT_NE(text.find("COUNT"), std::string::npos);
+  EXPECT_NE(text.find("6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ursa

@@ -1,0 +1,120 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace ursa {
+namespace {
+
+TEST(Percentile, EmptyAndSingleton) {
+  EXPECT_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(Percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 1.75);
+}
+
+TEST(Percentile, OrderInvariant) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 50.0), Percentile({1.0, 2.0, 3.0}, 50.0));
+}
+
+TEST(Summarize, BasicMoments) {
+  const Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 9.0);
+}
+
+TEST(OutlierThreshold, MatchesQ3Plus15Iqr) {
+  // 1..8: Q1 = 2.75, Q3 = 6.25, IQR = 3.5 -> threshold 11.5.
+  std::vector<double> v;
+  for (int i = 1; i <= 8; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_NEAR(OutlierThreshold(v), 11.5, 1e-9);
+}
+
+TEST(OutlierThreshold, FlagsStraggler) {
+  std::vector<double> v(20, 10.0);
+  v.push_back(100.0);
+  EXPECT_LT(OutlierThreshold(v), 100.0);
+}
+
+TEST(MeanAbsoluteDeviation, UniformIsZero) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteDeviation({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(MeanAbsoluteDeviation, Basic) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteDeviation({0.0, 10.0}), 5.0);
+}
+
+TEST(RunningStat, MatchesBatchComputation) {
+  Rng rng(3);
+  std::vector<double> values;
+  RunningStat rs;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Normal(10.0, 3.0);
+    values.push_back(x);
+    rs.Add(x);
+  }
+  const Summary s = Summarize(values);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-9);
+}
+
+// Property sweep: percentiles are monotone in p and bounded by min/max.
+class PercentileProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  const int n = 1 + static_cast<int>(rng.UniformInt(200u));
+  for (int i = 0; i < n; ++i) {
+    v.push_back(rng.Uniform(-100.0, 100.0));
+  }
+  double prev = Percentile(v, 0.0);
+  const Summary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(prev, s.min);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double cur = Percentile(v, p);
+    EXPECT_GE(cur, prev);
+    EXPECT_LE(cur, s.max);
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(prev, s.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty, ::testing::Range<uint64_t>(1, 16));
+
+// Property: the skew factor is bounded and mean-ish around 1.
+class SkewProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SkewProperty, BoundedByskew) {
+  Rng rng(77);
+  const double skew = GetParam();
+  double total = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double f = rng.SkewFactor(skew);
+    EXPECT_GE(f, 1.0 / skew - 1e-9);
+    EXPECT_LE(f, skew + 1e-9);
+    total += f;
+  }
+  EXPECT_GT(total / 2000.0, 0.5);
+  EXPECT_LT(total / 2000.0, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, SkewProperty, ::testing::Values(1.0, 1.5, 2.0, 4.0));
+
+}  // namespace
+}  // namespace ursa

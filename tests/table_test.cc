@@ -1,0 +1,88 @@
+// Tests for console table rendering and the RNG helpers.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+#include "src/common/units.h"
+
+namespace ursa {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.Row().Cell("a").Cell(1.5, 1);
+  table.Row().Cell("long-name").Cell(int64_t{42});
+  const std::string out = table.ToString("title");
+  EXPECT_NE(out.find("== title =="), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  // Right-aligned numeric column: "1.5" is padded to the width of "value".
+  EXPECT_NE(out.find("  1.5"), std::string::npos);
+}
+
+TEST(Table, PrecisionControl) {
+  Table table({"x"});
+  table.Row().Cell(3.14159, 3);
+  EXPECT_NE(table.ToString().find("3.142"), std::string::npos);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(GbpsToBytesPerSec(10.0), 1.25e9);
+  EXPECT_DOUBLE_EQ(MBps(250.0), 2.5e8);
+  EXPECT_DOUBLE_EQ(kGiB, 1024.0 * 1024.0 * 1024.0);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42);
+  Rng b(42);
+  Rng c(43);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) {
+      all_equal_c = false;
+    }
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+    const int64_t n = rng.UniformInt(static_cast<int64_t>(-3), 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(0.5);
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace ursa

@@ -1,0 +1,97 @@
+#include "src/common/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace ursa {
+namespace {
+
+TEST(StepTracker, EmptyIntegralIsZero) {
+  StepTracker t;
+  EXPECT_DOUBLE_EQ(t.Integral(0.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.Average(0.0, 100.0), 0.0);
+}
+
+TEST(StepTracker, ConstantLevel) {
+  StepTracker t;
+  t.Set(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(t.Integral(0.0, 10.0), 40.0);
+  EXPECT_DOUBLE_EQ(t.Average(2.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(t.Max(0.0, 10.0), 4.0);
+}
+
+TEST(StepTracker, StepChangeSplitsIntegral) {
+  StepTracker t;
+  t.Set(0.0, 2.0);
+  t.Set(5.0, 6.0);
+  EXPECT_DOUBLE_EQ(t.Integral(0.0, 10.0), 2.0 * 5 + 6.0 * 5);
+  EXPECT_DOUBLE_EQ(t.Integral(4.0, 6.0), 2.0 + 6.0);
+  EXPECT_DOUBLE_EQ(t.Max(0.0, 4.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.Max(0.0, 6.0), 6.0);
+}
+
+TEST(StepTracker, ValueBeforeFirstChangeIsZero) {
+  StepTracker t;
+  t.Set(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.Integral(0.0, 20.0), 50.0);
+}
+
+TEST(StepTracker, AddAccumulates) {
+  StepTracker t;
+  t.Add(0.0, 1.0);
+  t.Add(1.0, 1.0);
+  t.Add(2.0, -2.0);
+  EXPECT_DOUBLE_EQ(t.current(), 0.0);
+  EXPECT_DOUBLE_EQ(t.Integral(0.0, 3.0), 1.0 + 2.0 + 0.0);
+}
+
+TEST(StepTracker, SameTimeOverrides) {
+  StepTracker t;
+  t.Set(1.0, 3.0);
+  t.Set(1.0, 7.0);
+  EXPECT_DOUBLE_EQ(t.Integral(1.0, 2.0), 7.0);
+}
+
+TEST(StepTracker, ResampleAveragesWithinBuckets) {
+  StepTracker t;
+  t.Set(0.0, 0.0);
+  t.Set(0.5, 10.0);  // Half the first bucket at 10.
+  t.Set(1.0, 2.0);
+  const std::vector<double> r = t.Resample(0.0, 2.0, 1.0);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+}
+
+// Property: integral is additive over adjacent windows, and resampled means
+// integrate back to the exact integral.
+class StepTrackerProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StepTrackerProperty, IntegralAdditivityAndResampleConsistency) {
+  Rng rng(GetParam());
+  StepTracker t;
+  double now = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    now += rng.Uniform(0.0, 2.0);
+    t.Set(now, rng.Uniform(0.0, 32.0));
+  }
+  const double end = now + 1.0;
+  const double mid = rng.Uniform(0.0, end);
+  EXPECT_NEAR(t.Integral(0.0, end), t.Integral(0.0, mid) + t.Integral(mid, end), 1e-6);
+
+  const double step = 0.25;
+  const auto samples = t.Resample(0.0, end, step);
+  double resampled_integral = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const double lo = static_cast<double>(i) * step;
+    const double hi = std::min(lo + step, end);
+    resampled_integral += samples[i] * (hi - lo);
+  }
+  EXPECT_NEAR(resampled_integral, t.Integral(0.0, end), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepTrackerProperty, ::testing::Range<uint64_t>(1, 12));
+
+}  // namespace
+}  // namespace ursa

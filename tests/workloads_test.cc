@@ -1,0 +1,189 @@
+// Calibration and structure tests for the workload generators: DAG shapes
+// and single-job JCT bands must match the statistics section 5 reports.
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/driver/experiment.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/mixed.h"
+#include "src/workloads/ml.h"
+#include "src/workloads/synthetic.h"
+#include "src/workloads/tpcds.h"
+#include "src/workloads/tpch.h"
+
+namespace ursa {
+namespace {
+
+double SoloJct(JobSpec spec) {
+  Workload workload;
+  workload.name = "solo";
+  WorkloadJob job;
+  job.spec = std::move(spec);
+  workload.jobs.push_back(std::move(job));
+  return RunExperiment(workload, UrsaEjfConfig(), "solo").records[0].jct();
+}
+
+TEST(TpchWorkload, DagDepthsInPaperRange) {
+  for (int q = 1; q <= 22; ++q) {
+    const JobSpec spec = MakeTpchQuery(q, 200.0 * kGiB, 1);
+    const int depth = spec.graph.Depth();
+    EXPECT_GE(depth, 2) << "q" << q;
+    EXPECT_LE(depth, 16) << "q" << q;  // Paper: op-tree depth 2-10 + write.
+  }
+}
+
+TEST(TpchWorkload, SoloJctsInPaperBand) {
+  // Paper: 3-297 s, mean ~38 s. Allow a generous band around it.
+  std::vector<double> jcts;
+  for (int i = 0; i < 16; ++i) {
+    const int q = 1 + (i * 5) % 22;
+    jcts.push_back(SoloJct(MakeTpchQuery(q, 200.0 * kGiB, 100 + i)));
+  }
+  const Summary s = Summarize(jcts);
+  EXPECT_GT(s.min, 2.0);
+  EXPECT_LT(s.max, 400.0);
+  EXPECT_GT(s.mean, 10.0);
+  EXPECT_LT(s.mean, 120.0);
+}
+
+TEST(TpchWorkload, WorkloadCompositionFollowsConfig) {
+  TpchWorkloadConfig config;
+  config.num_jobs = 50;
+  config.submit_interval = 5.0;
+  config.seed = 3;
+  const Workload workload = MakeTpchWorkload(config);
+  ASSERT_EQ(workload.jobs.size(), 50u);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(workload.jobs[i].submit_time, 5.0 * static_cast<double>(i));
+    EXPECT_EQ(workload.jobs[i].spec.klass, "tpch");
+  }
+}
+
+TEST(TpchWorkload, DeterministicForSeed) {
+  TpchWorkloadConfig config;
+  config.num_jobs = 10;
+  config.seed = 9;
+  const Workload a = MakeTpchWorkload(config);
+  const Workload b = MakeTpchWorkload(config);
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].spec.name, b.jobs[i].spec.name);
+    EXPECT_DOUBLE_EQ(a.jobs[i].spec.graph.TotalExternalInputBytes(),
+                     b.jobs[i].spec.graph.TotalExternalInputBytes());
+  }
+}
+
+TEST(TpcdsWorkload, DeepDagsExist) {
+  // Paper: depth 5-43, mean ~9. Check the generator's depth distribution.
+  int deep = 0;
+  double total = 0.0;
+  const int n = 60;
+  for (int q = 1; q <= n; ++q) {
+    const JobSpec spec = MakeTpcdsQuery(q, 200.0 * kGiB, 5);
+    const int depth = spec.graph.Depth();
+    total += depth;
+    if (depth > 20) {
+      ++deep;
+    }
+    EXPECT_LE(depth, 90);
+  }
+  EXPECT_GT(deep, 0) << "no deep queries generated";
+  EXPECT_GT(total / n, 7.0);
+  EXPECT_LT(total / n, 30.0);
+}
+
+TEST(MlWorkload, IterationStructure) {
+  MlJobParams params = LrParams();
+  params.iterations = 4;
+  const JobSpec spec = BuildMlJob(params, 1);
+  // 2 stages per iteration (broadcast+grad, agg+update) + init; the final
+  // disk write joins the last update stage (async dep, co-located).
+  const ExecutionPlan plan = ExecutionPlan::Build(spec.graph, 1);
+  EXPECT_EQ(plan.stages().size(), 2u * 4u + 1u);
+  // Alternating wide/narrow parallelism.
+  EXPECT_EQ(plan.stage(1).num_tasks, params.parallelism);
+  EXPECT_EQ(plan.stage(2).num_tasks, 32);
+}
+
+TEST(GraphWorkload, CcFrontierShrinks) {
+  GraphJobParams params = CcParams();
+  params.iterations = 6;
+  const JobSpec spec = BuildGraphJob(params, 1);
+  const ExecutionPlan plan = ExecutionPlan::Build(spec.graph, 1);
+  const auto work = plan.ExpectedWorkByResource();
+  // Network work is bounded: decaying message volume keeps the shuffle sum
+  // well below iterations x first-round volume.
+  const double first_round = params.edge_bytes * params.message_fraction;
+  EXPECT_LT(work[static_cast<size_t>(ResourceType::kNetwork)],
+            0.8 * params.iterations * first_round);
+}
+
+TEST(SyntheticWorkload, SoloProfilesMatchSection53) {
+  SyntheticJobParams t1;
+  t1.type = 1;
+  SyntheticJobParams t2;
+  t2.type = 2;
+  const double jct1 = SoloJct(BuildSyntheticJob(t1, 7));
+  const double jct2 = SoloJct(BuildSyntheticJob(t2, 8));
+  // Paper: ~40 s and ~22 s; Type 1 handles twice the data.
+  EXPECT_NEAR(jct1, 40.0, 8.0);
+  EXPECT_NEAR(jct2, 21.0, 6.0);
+  EXPECT_NEAR(jct1 / jct2, 2.0, 0.4);
+}
+
+TEST(SyntheticWorkload, ExpectedJctFormulaMatchesPaperExample) {
+  // Paper: j1 = 40, j2 = 48, j3 = 80, j4 = 88 ...
+  const auto expected = ExpectedJctsType1Only(4, 40.0, 8.0);
+  EXPECT_DOUBLE_EQ(expected[0], 40.0);
+  EXPECT_DOUBLE_EQ(expected[1], 48.0);
+  EXPECT_DOUBLE_EQ(expected[2], 80.0);
+  EXPECT_DOUBLE_EQ(expected[3], 88.0);
+}
+
+TEST(SyntheticWorkload, IdealAlternatingModelSaneForUniformJobs) {
+  // With identical jobs, the ideal model reduces to the pairing formula.
+  std::vector<AlternatingJobModel> jobs(4);
+  for (auto& j : jobs) {
+    j.stages = 5;
+    j.cpu_phase = 8.0;
+    j.net_phase = 0.0;  // Pure CPU: strictly serial execution.
+  }
+  const auto expected = ExpectedJctsIdealAlternating(jobs, /*srjf=*/false);
+  EXPECT_DOUBLE_EQ(expected[0], 40.0);
+  EXPECT_DOUBLE_EQ(expected[3], 160.0);
+}
+
+TEST(SyntheticWorkload, IdealModelSrjfReordersSmallJobsFirst) {
+  std::vector<AlternatingJobModel> jobs(2);
+  jobs[0].stages = 5;
+  jobs[0].cpu_phase = 8.0;
+  jobs[0].net_phase = 0.0;
+  jobs[1].stages = 5;
+  jobs[1].cpu_phase = 2.0;
+  jobs[1].net_phase = 0.0;
+  const auto ejf = ExpectedJctsIdealAlternating(jobs, false);
+  const auto srjf = ExpectedJctsIdealAlternating(jobs, true);
+  EXPECT_LT(srjf[1], ejf[1]);  // The small job jumps ahead under SRJF.
+}
+
+TEST(MixedWorkload, CompositionMatchesPaper) {
+  const Workload workload = MakeMixedWorkload({});
+  int tpch = 0;
+  int ml = 0;
+  int graph = 0;
+  for (const WorkloadJob& job : workload.jobs) {
+    if (job.spec.klass == "tpch") {
+      ++tpch;
+    } else if (job.spec.klass == "ml") {
+      ++ml;
+    } else if (job.spec.klass == "graph") {
+      ++graph;
+    }
+  }
+  EXPECT_EQ(tpch, 32);
+  EXPECT_EQ(ml, 4);
+  EXPECT_EQ(graph, 2);
+}
+
+}  // namespace
+}  // namespace ursa

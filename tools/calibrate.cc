@@ -1,0 +1,48 @@
+#include <cstdio>
+#include "src/common/stats.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/driver/experiment.h"
+#include "src/workloads/tpch.h"
+#include "src/workloads/tpcds.h"
+#include "src/workloads/ml.h"
+#include "src/workloads/graph.h"
+#include "src/workloads/synthetic.h"
+
+using namespace ursa;
+
+static double SingleJct(JobSpec spec) {
+  Workload w; w.name = "single";
+  WorkloadJob j; j.spec = std::move(spec); w.jobs.push_back(std::move(j));
+  auto r = RunExperiment(w, UrsaEjfConfig(), "ursa");
+  return r.records[0].jct();
+}
+
+int main() {
+  // TPC-H single-job JCTs across queries/sizes
+  std::vector<double> jcts;
+  Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    int q = 1 + (i % 22);
+    double db = (i % 10 < 6) ? 200.0*kGiB : (i % 10 < 9 ? 500.0*kGiB : 1024.0*kGiB);
+    jcts.push_back(SingleJct(MakeTpchQuery(q, db, 1000+i)));
+  }
+  Summary s = Summarize(jcts);
+  std::printf("TPCH single: min %.1f p50 %.1f mean %.1f p95 %.1f max %.1f\n", s.min, s.p50, s.mean, s.p95, s.max);
+
+  std::vector<double> ds;
+  for (int i = 0; i < 30; ++i) {
+    int q = 1 + (i*7 % 99);
+    ds.push_back(SingleJct(MakeTpcdsQuery(q, 200.0*kGiB, 2000+i)));
+  }
+  s = Summarize(ds);
+  std::printf("TPCDS single: min %.1f p50 %.1f mean %.1f p95 %.1f max %.1f\n", s.min, s.p50, s.mean, s.p95, s.max);
+
+  std::printf("LR: %.1f  KMeans: %.1f  PR: %.1f  CC: %.1f\n",
+      SingleJct(BuildMlJob(LrParams(), 1)), SingleJct(BuildMlJob(KmeansParams(), 2)),
+      SingleJct(BuildGraphJob(PagerankParams(), 3)), SingleJct(BuildGraphJob(CcParams(), 4)));
+
+  SyntheticJobParams t1; t1.type = 1; SyntheticJobParams t2; t2.type = 2;
+  std::printf("Type1: %.1f  Type2: %.1f\n", SingleJct(BuildSyntheticJob(t1, 5)), SingleJct(BuildSyntheticJob(t2, 6)));
+  return 0;
+}

@@ -1,0 +1,164 @@
+// ursa_sim: command-line driver for the cluster simulator.
+//
+//   ursa_sim --workload=tpch --scheduler=ursa-ejf --jobs=50 [options]
+//
+// Workloads:   tpch | tpcds | tpch2 | mixed | synthetic
+// Schedulers:  ursa-ejf | ursa-srjf | y+s | y+t | y+u |
+//              tetris | tetris2 | capacity
+// Options:     --jobs=N --interval=SEC --seed=N --workers=N --gbps=G
+//              --subscription=R (executor schemes) --series=STEP
+//
+// Prints the paper-style summary (makespan, avg JCT, SE/UE) and optionally
+// a sampled cluster-utilization series.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/common/table.h"
+#include "src/common/units.h"
+#include "src/driver/experiment.h"
+#include "src/workloads/mixed.h"
+#include "src/workloads/synthetic.h"
+#include "src/workloads/tpcds.h"
+#include "src/workloads/tpch.h"
+
+namespace {
+
+struct Flags {
+  std::string workload = "tpch";
+  std::string scheduler = "ursa-ejf";
+  int jobs = 50;
+  double interval = 5.0;
+  uint64_t seed = 42;
+  int workers = 20;
+  double gbps = 10.0;
+  double subscription = 1.0;
+  double series = 0.0;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ursa_sim [--workload=tpch|tpcds|tpch2|mixed|synthetic]\n"
+               "                [--scheduler=ursa-ejf|ursa-srjf|y+s|y+t|y+u|tetris|tetris2|"
+               "capacity]\n"
+               "                [--jobs=N] [--interval=SEC] [--seed=N] [--workers=N]\n"
+               "                [--gbps=G] [--subscription=R] [--series=STEP]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ursa;
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "workload", &value)) {
+      flags.workload = value;
+    } else if (ParseFlag(argv[i], "scheduler", &value)) {
+      flags.scheduler = value;
+    } else if (ParseFlag(argv[i], "jobs", &value)) {
+      flags.jobs = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "interval", &value)) {
+      flags.interval = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "workers", &value)) {
+      flags.workers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "gbps", &value)) {
+      flags.gbps = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "subscription", &value)) {
+      flags.subscription = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "series", &value)) {
+      flags.series = std::atof(value.c_str());
+    } else {
+      return Usage();
+    }
+  }
+
+  // Workload.
+  Workload workload;
+  if (flags.workload == "tpch") {
+    TpchWorkloadConfig config;
+    config.num_jobs = flags.jobs;
+    config.submit_interval = flags.interval;
+    config.seed = flags.seed;
+    workload = MakeTpchWorkload(config);
+  } else if (flags.workload == "tpcds") {
+    TpcdsWorkloadConfig config;
+    config.num_jobs = flags.jobs;
+    config.submit_interval = flags.interval;
+    config.seed = flags.seed;
+    workload = MakeTpcdsWorkload(config);
+  } else if (flags.workload == "tpch2") {
+    workload = MakeTpch2Workload(flags.seed);
+  } else if (flags.workload == "mixed") {
+    MixedWorkloadConfig config;
+    config.seed = flags.seed;
+    workload = MakeMixedWorkload(config);
+  } else if (flags.workload == "synthetic") {
+    workload = MakeSyntheticMixedWorkload(std::max(1, flags.jobs / 2), flags.seed);
+  } else {
+    return Usage();
+  }
+
+  // Scheduler.
+  ExperimentConfig config;
+  if (flags.scheduler == "ursa-ejf") {
+    config = UrsaEjfConfig();
+  } else if (flags.scheduler == "ursa-srjf") {
+    config = UrsaSrjfConfig();
+  } else if (flags.scheduler == "y+s") {
+    config = SparkLikeConfig();
+  } else if (flags.scheduler == "y+t") {
+    config = TezLikeConfig();
+  } else if (flags.scheduler == "y+u") {
+    config = MonoSparkConfig();
+  } else if (flags.scheduler == "tetris" || flags.scheduler == "tetris2" ||
+             flags.scheduler == "capacity") {
+    config = UrsaEjfConfig();
+    config.ursa.placement = flags.scheduler == "tetris"
+                                ? PlacementAlgorithm::kTetris
+                                : (flags.scheduler == "tetris2" ? PlacementAlgorithm::kTetris2
+                                                                : PlacementAlgorithm::kCapacity);
+  } else {
+    return Usage();
+  }
+  config.cluster.num_workers = flags.workers;
+  config.cluster.uplink_bytes_per_sec = GbpsToBytesPerSec(flags.gbps);
+  config.cluster.downlink_bytes_per_sec = GbpsToBytesPerSec(flags.gbps);
+  config.cm.cpu_subscription_ratio = flags.subscription;
+  config.sample_step = flags.series;
+
+  const ExperimentResult result = RunExperiment(workload, config, flags.scheduler);
+
+  Table table({"scheme", "jobs", "makespan", "avgJCT", "UEcpu", "SEcpu", "UEmem", "SEmem",
+               "straggler%"});
+  table.Row()
+      .Cell(flags.scheduler)
+      .Cell(static_cast<int64_t>(result.records.size()))
+      .Cell(result.makespan(), 1)
+      .Cell(result.avg_jct(), 2)
+      .Cell(result.efficiency.ue_cpu)
+      .Cell(result.efficiency.se_cpu)
+      .Cell(result.efficiency.ue_mem)
+      .Cell(result.efficiency.se_mem)
+      .Cell(result.straggler_ratio, 2);
+  table.Print(flags.workload + " on " + std::to_string(flags.workers) + " workers");
+
+  if (flags.series > 0.0) {
+    PrintSeriesCsv(flags.scheduler, result.series.t0, result.series.step, result.series.cpu,
+                   result.series.mem, result.series.net);
+  }
+  return 0;
+}
