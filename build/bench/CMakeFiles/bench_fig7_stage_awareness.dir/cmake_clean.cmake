@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_stage_awareness.dir/bench_fig7_stage_awareness.cc.o"
+  "CMakeFiles/bench_fig7_stage_awareness.dir/bench_fig7_stage_awareness.cc.o.d"
+  "bench_fig7_stage_awareness"
+  "bench_fig7_stage_awareness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_stage_awareness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

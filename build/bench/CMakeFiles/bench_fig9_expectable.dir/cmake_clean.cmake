@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_expectable.dir/bench_fig9_expectable.cc.o"
+  "CMakeFiles/bench_fig9_expectable.dir/bench_fig9_expectable.cc.o.d"
+  "bench_fig9_expectable"
+  "bench_fig9_expectable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_expectable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_single_job_ue.dir/bench_table1_single_job_ue.cc.o"
+  "CMakeFiles/bench_table1_single_job_ue.dir/bench_table1_single_job_ue.cc.o.d"
+  "bench_table1_single_job_ue"
+  "bench_table1_single_job_ue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_single_job_ue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tpch.dir/bench_table2_tpch.cc.o"
+  "CMakeFiles/bench_table2_tpch.dir/bench_table2_tpch.cc.o.d"
+  "bench_table2_tpch"
+  "bench_table2_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mixed.dir/bench_table4_mixed.cc.o"
+  "CMakeFiles/bench_table4_mixed.dir/bench_table4_mixed.cc.o.d"
+  "bench_table4_mixed"
+  "bench_table4_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_oversubscription.dir/bench_table5_oversubscription.cc.o"
+  "CMakeFiles/bench_table5_oversubscription.dir/bench_table5_oversubscription.cc.o.d"
+  "bench_table5_oversubscription"
+  "bench_table5_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

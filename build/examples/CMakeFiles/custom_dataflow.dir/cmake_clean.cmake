@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dataflow.dir/custom_dataflow.cpp.o"
+  "CMakeFiles/custom_dataflow.dir/custom_dataflow.cpp.o.d"
+  "custom_dataflow"
+  "custom_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_pregel.dir/pagerank_pregel.cpp.o"
+  "CMakeFiles/pagerank_pregel.dir/pagerank_pregel.cpp.o.d"
+  "pagerank_pregel"
+  "pagerank_pregel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_pregel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_engine.dir/sql_engine.cpp.o"
+  "CMakeFiles/sql_engine.dir/sql_engine.cpp.o.d"
+  "sql_engine"
+  "sql_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bsp_runtime.cc" "src/CMakeFiles/ursa.dir/baselines/bsp_runtime.cc.o" "gcc" "src/CMakeFiles/ursa.dir/baselines/bsp_runtime.cc.o.d"
+  "/root/repo/src/baselines/container_manager.cc" "src/CMakeFiles/ursa.dir/baselines/container_manager.cc.o" "gcc" "src/CMakeFiles/ursa.dir/baselines/container_manager.cc.o.d"
+  "/root/repo/src/baselines/executor_runtime.cc" "src/CMakeFiles/ursa.dir/baselines/executor_runtime.cc.o" "gcc" "src/CMakeFiles/ursa.dir/baselines/executor_runtime.cc.o.d"
+  "/root/repo/src/baselines/packing_schedulers.cc" "src/CMakeFiles/ursa.dir/baselines/packing_schedulers.cc.o" "gcc" "src/CMakeFiles/ursa.dir/baselines/packing_schedulers.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ursa.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ursa.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ursa.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ursa.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table.cc" "src/CMakeFiles/ursa.dir/common/table.cc.o" "gcc" "src/CMakeFiles/ursa.dir/common/table.cc.o.d"
+  "/root/repo/src/common/time_series.cc" "src/CMakeFiles/ursa.dir/common/time_series.cc.o" "gcc" "src/CMakeFiles/ursa.dir/common/time_series.cc.o.d"
+  "/root/repo/src/dag/job.cc" "src/CMakeFiles/ursa.dir/dag/job.cc.o" "gcc" "src/CMakeFiles/ursa.dir/dag/job.cc.o.d"
+  "/root/repo/src/dag/opgraph.cc" "src/CMakeFiles/ursa.dir/dag/opgraph.cc.o" "gcc" "src/CMakeFiles/ursa.dir/dag/opgraph.cc.o.d"
+  "/root/repo/src/dag/plan.cc" "src/CMakeFiles/ursa.dir/dag/plan.cc.o" "gcc" "src/CMakeFiles/ursa.dir/dag/plan.cc.o.d"
+  "/root/repo/src/driver/experiment.cc" "src/CMakeFiles/ursa.dir/driver/experiment.cc.o" "gcc" "src/CMakeFiles/ursa.dir/driver/experiment.cc.o.d"
+  "/root/repo/src/exec/cluster.cc" "src/CMakeFiles/ursa.dir/exec/cluster.cc.o" "gcc" "src/CMakeFiles/ursa.dir/exec/cluster.cc.o.d"
+  "/root/repo/src/exec/estimator.cc" "src/CMakeFiles/ursa.dir/exec/estimator.cc.o" "gcc" "src/CMakeFiles/ursa.dir/exec/estimator.cc.o.d"
+  "/root/repo/src/exec/job_manager.cc" "src/CMakeFiles/ursa.dir/exec/job_manager.cc.o" "gcc" "src/CMakeFiles/ursa.dir/exec/job_manager.cc.o.d"
+  "/root/repo/src/exec/metadata_store.cc" "src/CMakeFiles/ursa.dir/exec/metadata_store.cc.o" "gcc" "src/CMakeFiles/ursa.dir/exec/metadata_store.cc.o.d"
+  "/root/repo/src/exec/monotask_queue.cc" "src/CMakeFiles/ursa.dir/exec/monotask_queue.cc.o" "gcc" "src/CMakeFiles/ursa.dir/exec/monotask_queue.cc.o.d"
+  "/root/repo/src/exec/worker.cc" "src/CMakeFiles/ursa.dir/exec/worker.cc.o" "gcc" "src/CMakeFiles/ursa.dir/exec/worker.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/ursa.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/ursa.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/net/flow_simulator.cc" "src/CMakeFiles/ursa.dir/net/flow_simulator.cc.o" "gcc" "src/CMakeFiles/ursa.dir/net/flow_simulator.cc.o.d"
+  "/root/repo/src/runtime/local_runtime.cc" "src/CMakeFiles/ursa.dir/runtime/local_runtime.cc.o" "gcc" "src/CMakeFiles/ursa.dir/runtime/local_runtime.cc.o.d"
+  "/root/repo/src/scheduler/job_ordering.cc" "src/CMakeFiles/ursa.dir/scheduler/job_ordering.cc.o" "gcc" "src/CMakeFiles/ursa.dir/scheduler/job_ordering.cc.o.d"
+  "/root/repo/src/scheduler/ursa_scheduler.cc" "src/CMakeFiles/ursa.dir/scheduler/ursa_scheduler.cc.o" "gcc" "src/CMakeFiles/ursa.dir/scheduler/ursa_scheduler.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/ursa.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/ursa.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/ursa.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/ursa.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/CMakeFiles/ursa.dir/sql/catalog.cc.o" "gcc" "src/CMakeFiles/ursa.dir/sql/catalog.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/CMakeFiles/ursa.dir/sql/engine.cc.o" "gcc" "src/CMakeFiles/ursa.dir/sql/engine.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/ursa.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/ursa.dir/sql/parser.cc.o.d"
+  "/root/repo/src/workloads/graph.cc" "src/CMakeFiles/ursa.dir/workloads/graph.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/graph.cc.o.d"
+  "/root/repo/src/workloads/mixed.cc" "src/CMakeFiles/ursa.dir/workloads/mixed.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/mixed.cc.o.d"
+  "/root/repo/src/workloads/ml.cc" "src/CMakeFiles/ursa.dir/workloads/ml.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/ml.cc.o.d"
+  "/root/repo/src/workloads/sql_builder.cc" "src/CMakeFiles/ursa.dir/workloads/sql_builder.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/sql_builder.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/ursa.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/tpcds.cc" "src/CMakeFiles/ursa.dir/workloads/tpcds.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/tpcds.cc.o.d"
+  "/root/repo/src/workloads/tpch.cc" "src/CMakeFiles/ursa.dir/workloads/tpch.cc.o" "gcc" "src/CMakeFiles/ursa.dir/workloads/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_manager_test.dir/job_manager_test.cc.o"
+  "CMakeFiles/job_manager_test.dir/job_manager_test.cc.o.d"
+  "job_manager_test"
+  "job_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

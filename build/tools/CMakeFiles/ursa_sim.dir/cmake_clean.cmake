@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ursa_sim.dir/ursa_sim.cc.o"
+  "CMakeFiles/ursa_sim.dir/ursa_sim.cc.o.d"
+  "ursa_sim"
+  "ursa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ursa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
