@@ -50,6 +50,17 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
                                                           config.cm);
   }
 
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.fault_plan.empty()) {
+    if (ursa_sched != nullptr) {
+      injector = std::make_unique<FaultInjector>(&sim, &cluster, config.fault_plan,
+                                                 ursa_sched->mutable_fault_stats());
+      injector->Arm();
+    } else {
+      LOG(Warning) << "fault plan ignored: the executor model has no recovery path";
+    }
+  }
+
   // Jobs are compiled and submitted at their submission times.
   for (size_t i = 0; i < workload.jobs.size(); ++i) {
     const WorkloadJob& wj = workload.jobs[i];
@@ -90,6 +101,7 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
   if (ursa_sched != nullptr) {
     result.straggler_ratio = MetricsCollector::StragglerTimeRatio(
         UrsaStageTimes(*ursa_sched, static_cast<int>(result.records.size())), jcts);
+    result.faults = ursa_sched->fault_stats();
   } else {
     auto times = exec_sched->stage_task_times();
     times.resize(result.records.size());

@@ -16,6 +16,7 @@
 
 #include "src/baselines/executor_runtime.h"
 #include "src/exec/cluster.h"
+#include "src/fault/fault_injector.h"
 #include "src/metrics/metrics.h"
 #include "src/scheduler/ursa_scheduler.h"
 #include "src/workloads/workload.h"
@@ -38,6 +39,9 @@ struct ExperimentConfig {
   double time_limit = 500000.0;
   // When > 0, the result carries a cluster utilization series at this step.
   double sample_step = 0.0;
+  // Chaos plan injected during the run (Ursa scheduler only; the executor
+  // model has no recovery path and ignores it with a warning).
+  FaultPlan fault_plan;
 };
 
 struct ExperimentResult {
@@ -47,6 +51,8 @@ struct ExperimentResult {
   MetricsCollector::UtilizationSeries series;
   // Straggler-time-to-JCT ratio (section 5.1.2), percent.
   double straggler_ratio = 0.0;
+  // Fault injection / detection / recovery counters (Ursa scheduler only).
+  FaultStats faults;
   double makespan() const { return efficiency.makespan; }
   double avg_jct() const { return efficiency.avg_jct; }
 };

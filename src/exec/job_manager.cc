@@ -1,6 +1,7 @@
 #include "src/exec/job_manager.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 
@@ -85,6 +86,7 @@ bool JobManager::PlaceTask(TaskId t, WorkerId worker_id) {
   }
   rt.state = TaskState::kPlaced;
   rt.worker = worker_id;
+  rt.avoid_worker = kInvalidId;
   rt.allocated_memory = usage.memory;
   rt.actual_memory = std::min(job_->spec.true_m2i * usage.input_bytes, usage.memory);
   rt.timing.place_time = sim_->Now();
@@ -136,7 +138,12 @@ void JobManager::SubmitMonotask(MonotaskId m) {
   } else {
     run.intra_key = 0.0;
   }
-  run.on_complete = [this, m] { OnMonotaskComplete(m); };
+  // Callbacks carry the task's generation so completions or failures of an
+  // execution that has since been invalidated (lineage reset, re-placement)
+  // are ignored.
+  const int gen = trt.generation;
+  run.on_complete = [this, m, gen] { OnMonotaskComplete(m, gen); };
+  run.on_failure = [this, m, gen] { OnMonotaskFailed(m, gen); };
   cluster_->worker(trt.worker).Submit(std::move(run));
 }
 
@@ -165,7 +172,7 @@ bool JobManager::DependsOnWorker(WorkerId worker) const {
   return false;
 }
 
-void JobManager::OnMonotaskComplete(MonotaskId m) {
+void JobManager::OnMonotaskComplete(MonotaskId m, int generation) {
   if (aborted_) {
     return;  // A late completion from before the abort; the restart owns
              // the job now.
@@ -173,6 +180,11 @@ void JobManager::OnMonotaskComplete(MonotaskId m) {
   MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
   const MonotaskSpec& mt = plan().monotask(m);
   TaskRuntime& trt = tasks_[static_cast<size_t>(mt.task)];
+  if (generation != trt.generation) {
+    return;  // Stale completion of an invalidated execution.
+  }
+  mrt.done = true;
+  mrt.attempts = 0;
   // Record outputs in the metadata store at this task's worker.
   for (const OutputRecord& rec :
        UsageEstimator::ComputeOutputs(*job_, m, mrt.input_bytes)) {
@@ -201,11 +213,279 @@ void JobManager::OnMonotaskComplete(MonotaskId m) {
   }
 }
 
+void JobManager::ConfigureFaultPolicy(int max_attempts, double backoff_base,
+                                      double backoff_cap, FaultStats* stats) {
+  CHECK_GE(max_attempts, 1);
+  CHECK_GT(backoff_base, 0.0);
+  CHECK_GE(backoff_cap, backoff_base);
+  max_monotask_attempts_ = max_attempts;
+  retry_backoff_base_ = backoff_base;
+  retry_backoff_cap_ = backoff_cap;
+  fault_stats_ = stats;
+}
+
+void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
+  if (aborted_) {
+    return;
+  }
+  const MonotaskSpec& mt = plan().monotask(m);
+  TaskRuntime& trt = tasks_[static_cast<size_t>(mt.task)];
+  if (generation != trt.generation) {
+    return;  // Failure of an already-invalidated execution.
+  }
+  MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+  ++mrt.attempts;
+  const Worker& worker = cluster_->worker(trt.worker);
+  if (worker.failed()) {
+    // The worker died under us (submission dropped or the scheduler has not
+    // recovered yet): retrying there is pointless, re-place immediately.
+    if (fault_stats_ != nullptr) {
+      ++fault_stats_->worker_loss_failures;
+      ++fault_stats_->escalations;
+    }
+    ResetTaskForReplacement(mt.task);
+    return;
+  }
+  if (fault_stats_ != nullptr) {
+    ++fault_stats_->transient_failures;
+  }
+  if (mrt.attempts < max_monotask_attempts_) {
+    // Capped exponential backoff on the same worker.
+    const double delay = std::min(
+        retry_backoff_cap_, retry_backoff_base_ * std::pow(2.0, mrt.attempts - 1));
+    if (fault_stats_ != nullptr) {
+      fault_stats_->RecordRetry(sim_->Now());
+    }
+    sim_->Schedule(delay, [this, m, generation] { ResubmitMonotask(m, generation); });
+  } else {
+    if (fault_stats_ != nullptr) {
+      ++fault_stats_->escalations;
+    }
+    ResetTaskForReplacement(mt.task);
+  }
+}
+
+void JobManager::ResubmitMonotask(MonotaskId m, int generation) {
+  if (aborted_) {
+    return;
+  }
+  const MonotaskSpec& mt = plan().monotask(m);
+  if (generation != tasks_[static_cast<size_t>(mt.task)].generation) {
+    return;  // The task moved on (reset or re-placed) during the backoff.
+  }
+  monotasks_[static_cast<size_t>(m)].submitted = false;
+  SubmitMonotask(m);
+}
+
+void JobManager::ResetTaskRuntime(TaskId t) {
+  const TaskSpec& spec = plan().task(t);
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  ++rt.generation;
+  rt.worker = kInvalidId;
+  rt.allocated_memory = 0.0;
+  rt.actual_memory = 0.0;
+  rt.avoid_worker = kInvalidId;
+  rt.timing.place_time = -1.0;
+  rt.timing.finish_time = -1.0;
+  rt.remaining_monotasks = static_cast<int>(spec.monotasks.size());
+  for (MonotaskId m : spec.monotasks) {
+    MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+    if (mrt.done) {
+      // The re-execution has to redo this work; put it back into R.
+      const auto type = static_cast<size_t>(plan().monotask(m).type);
+      remaining_work_[type] += mrt.input_bytes;
+    }
+    mrt.done = false;
+    mrt.submitted = false;
+    mrt.attempts = 0;
+    mrt.remaining_deps = static_cast<int>(plan().monotask(m).intask_deps.size());
+  }
+}
+
+void JobManager::ResetTaskForReplacement(TaskId t) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.state == TaskState::kPlaced);
+  const WorkerId old_worker = rt.worker;
+  Worker& worker = cluster_->worker(old_worker);
+  worker.ReleaseMemory(rt.allocated_memory);
+  worker.AddActualMemoryUse(-rt.actual_memory);
+  ResetTaskRuntime(t);
+  rt.avoid_worker = old_worker;
+  rt.state = TaskState::kBlocked;
+  MarkReady(t);
+}
+
+JobManager::RecoveryResult JobManager::RecoverFromWorkerFailure(WorkerId failed) {
+  RecoveryResult result;
+  if (aborted_ || finished()) {
+    return result;
+  }
+  const size_t n = tasks_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (tasks_[i].state == TaskState::kPlaced || tasks_[i].state == TaskState::kCompleted) {
+      ++result.tasks_started_before;
+    }
+  }
+
+  // Phase 1 - lineage analysis. Seed with in-flight placements on the dead
+  // worker, then propagate to a fixpoint:
+  //  * a completed task whose outputs lived on the dead worker is lost iff
+  //    some consumer still needs those outputs (it is not completed, or it
+  //    is itself being reset);
+  //  * a ready/placed task is invalidated when any producer it reads from
+  //    (async parent or any task of a sync parent stage) is being reset.
+  // Blocked tasks need no flag: their counters are rebuilt in phase 2.
+  std::vector<char> reset(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const TaskRuntime& rt = tasks_[i];
+    if (rt.state == TaskState::kPlaced && rt.worker == failed) {
+      reset[i] = 1;
+    }
+  }
+  auto any_dependent_needs = [&](const TaskSpec& spec) {
+    for (TaskId child : spec.async_children) {
+      const TaskRuntime& crt = tasks_[static_cast<size_t>(child)];
+      if (crt.state != TaskState::kCompleted || reset[static_cast<size_t>(child)]) {
+        return true;
+      }
+    }
+    for (StageId cs : plan().stage(spec.stage).sync_child_stages) {
+      for (TaskId child : plan().stage(cs).tasks) {
+        const TaskRuntime& crt = tasks_[static_cast<size_t>(child)];
+        if (crt.state != TaskState::kCompleted || reset[static_cast<size_t>(child)]) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  auto any_producer_reset = [&](const TaskSpec& spec) {
+    for (TaskId parent : spec.async_parents) {
+      if (reset[static_cast<size_t>(parent)]) {
+        return true;
+      }
+    }
+    for (StageId ps : spec.sync_parent_stages) {
+      for (TaskId parent : plan().stage(ps).tasks) {
+        if (reset[static_cast<size_t>(parent)]) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (reset[i]) {
+        continue;
+      }
+      const TaskRuntime& rt = tasks_[i];
+      const TaskSpec& spec = plan().task(static_cast<TaskId>(i));
+      if (rt.state == TaskState::kCompleted) {
+        if (rt.worker == failed && any_dependent_needs(spec)) {
+          reset[i] = 1;
+          changed = true;
+        }
+      } else if (rt.state == TaskState::kReady || rt.state == TaskState::kPlaced) {
+        if (any_producer_reset(spec)) {
+          reset[i] = 1;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Phase 2 - apply. Un-complete / de-schedule every reset task, then
+  // rebuild stage barriers, dependency counters and the ready frontier.
+  // Untouched completed tasks and untouched placements keep running.
+  int num_reset = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!reset[i]) {
+      continue;
+    }
+    ++num_reset;
+    TaskRuntime& rt = tasks_[i];
+    if (rt.state == TaskState::kPlaced) {
+      // Release is a no-op on the dead worker (its accounting was zeroed).
+      Worker& worker = cluster_->worker(rt.worker);
+      worker.ReleaseMemory(rt.allocated_memory);
+      worker.AddActualMemoryUse(-rt.actual_memory);
+    } else if (rt.state == TaskState::kCompleted) {
+      --completed_tasks_;
+    }
+    ResetTaskRuntime(static_cast<TaskId>(i));
+    rt.state = TaskState::kBlocked;
+    if (!rt.recovering) {
+      rt.recovering = true;
+      if (recovering_outstanding_ == 0) {
+        recovery_start_ = sim_->Now();
+      }
+      ++recovering_outstanding_;
+    }
+  }
+  result.tasks_reset = num_reset;
+  if (num_reset == 0) {
+    return result;  // Job untouched by this failure.
+  }
+
+  for (const StageSpec& stage : plan().stages()) {
+    int remaining = 0;
+    for (TaskId t : stage.tasks) {
+      if (tasks_[static_cast<size_t>(t)].state != TaskState::kCompleted) {
+        ++remaining;
+      }
+    }
+    stages_[static_cast<size_t>(stage.id)].remaining_tasks = remaining;
+  }
+  // Rebuild dependency counters for every task that is not completed and not
+  // an untouched in-flight placement, then recompute the ready frontier.
+  ready_unplaced_.clear();
+  ready_input_total_ = 0.0;
+  for (const TaskSpec& spec : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(spec.id)];
+    if (rt.state == TaskState::kCompleted || rt.state == TaskState::kPlaced) {
+      continue;
+    }
+    rt.state = TaskState::kBlocked;
+    int async_parents = 0;
+    for (TaskId parent : spec.async_parents) {
+      if (tasks_[static_cast<size_t>(parent)].state != TaskState::kCompleted) {
+        ++async_parents;
+      }
+    }
+    rt.remaining_async_parents = async_parents;
+    int sync_stages = 0;
+    for (StageId ps : spec.sync_parent_stages) {
+      if (stages_[static_cast<size_t>(ps)].remaining_tasks > 0) {
+        ++sync_stages;
+      }
+    }
+    rt.remaining_sync_stages = sync_stages;
+  }
+  for (const TaskSpec& spec : plan().tasks()) {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(spec.id)];
+    if (rt.state == TaskState::kBlocked && rt.remaining_async_parents == 0 &&
+        rt.remaining_sync_stages == 0) {
+      MarkReady(spec.id);
+    }
+  }
+  return result;
+}
+
 void JobManager::CompleteTask(TaskId t) {
   TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
   CHECK(rt.state == TaskState::kPlaced);
   rt.state = TaskState::kCompleted;
   rt.timing.finish_time = sim_->Now();
+  if (rt.recovering) {
+    rt.recovering = false;
+    CHECK_GT(recovering_outstanding_, 0);
+    if (--recovering_outstanding_ == 0 && fault_stats_ != nullptr) {
+      fault_stats_->RecordRecoveryLatency(sim_->Now() - recovery_start_);
+    }
+  }
   Worker& worker = cluster_->worker(rt.worker);
   worker.ReleaseMemory(rt.allocated_memory);
   worker.AddActualMemoryUse(-rt.actual_memory);
@@ -213,9 +493,15 @@ void JobManager::CompleteTask(TaskId t) {
   listener_->OnTaskCompleted(job_->id, t);
 
   const TaskSpec& spec = plan().task(t);
-  // Async children: same-index tasks of downstream stages.
+  // Async children: same-index tasks of downstream stages. Children past the
+  // blocked state are skipped: after lineage recovery a reset task can
+  // re-complete while a child that survived the failure is already running
+  // or done, and its dependency counters are long since spent.
   for (TaskId child : spec.async_children) {
     TaskRuntime& crt = tasks_[static_cast<size_t>(child)];
+    if (crt.state != TaskState::kBlocked) {
+      continue;
+    }
     CHECK_GT(crt.remaining_async_parents, 0);
     if (--crt.remaining_async_parents == 0 && crt.remaining_sync_stages == 0) {
       MarkReady(child);
@@ -228,6 +514,9 @@ void JobManager::CompleteTask(TaskId t) {
     for (StageId child_stage : plan().stage(spec.stage).sync_child_stages) {
       for (TaskId child : plan().stage(child_stage).tasks) {
         TaskRuntime& crt = tasks_[static_cast<size_t>(child)];
+        if (crt.state != TaskState::kBlocked) {
+          continue;  // Barrier re-fired after recovery; child already moved on.
+        }
         CHECK_GT(crt.remaining_sync_stages, 0);
         if (--crt.remaining_sync_stages == 0 && crt.remaining_async_parents == 0) {
           MarkReady(child);

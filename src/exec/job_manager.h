@@ -19,6 +19,7 @@
 #include "src/dag/job.h"
 #include "src/exec/cluster.h"
 #include "src/exec/estimator.h"
+#include "src/fault/fault_stats.h"
 
 namespace ursa {
 
@@ -60,6 +61,35 @@ class JobManager {
   // task's outputs live there (either makes a failure of `worker` fatal for
   // the job).
   bool DependsOnWorker(WorkerId worker) const;
+
+  // --- Fault tolerance (section 4.3). ---
+  // Retry policy for transient monotask failures; `stats` (may be null)
+  // receives retry/recovery counters.
+  void ConfigureFaultPolicy(int max_attempts, double backoff_base, double backoff_cap,
+                            FaultStats* stats);
+
+  struct RecoveryResult {
+    int tasks_reset = 0;           // Tasks returned to the blocked/ready pool.
+    int tasks_started_before = 0;  // Placed+completed tasks a full restart would redo.
+    // True when the job cannot be repaired at stage granularity (its
+    // checkpointed inputs are gone) and must restart from the checkpoint.
+    // External job inputs are durable in this model, so this only trips if
+    // that ever changes.
+    bool inputs_lost = false;
+  };
+  // Stage-level lineage recovery: determines which task results died with
+  // `failed` (in-flight placements and completed outputs that are still
+  // needed downstream), resets exactly those tasks and their invalidated
+  // dependents, and rebuilds the readiness frontier. Tasks running on
+  // healthy workers keep running; completed tasks whose outputs were already
+  // fully consumed are not re-executed. Returns how much work was reset.
+  RecoveryResult RecoverFromWorkerFailure(WorkerId failed);
+
+  // Worker the scheduler should avoid for this ready task (set after retry
+  // exhaustion escalates to re-placement); kInvalidId when unconstrained.
+  WorkerId avoided_worker(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].avoid_worker;
+  }
 
   Job& job() { return *job_; }
   const Job& job() const { return *job_; }
@@ -118,10 +148,20 @@ class JobManager {
     double allocated_memory = 0.0;
     double actual_memory = 0.0;
     TaskTiming timing;
+    // Bumped whenever the task's execution is invalidated (lineage reset or
+    // re-placement); in-flight monotask callbacks from older generations are
+    // ignored.
+    int generation = 0;
+    // Set after retry exhaustion: prefer any other worker at re-placement.
+    WorkerId avoid_worker = kInvalidId;
+    // Task is re-executing due to lineage recovery (for recovery latency).
+    bool recovering = false;
   };
   struct MonotaskRuntime {
     int remaining_deps = 0;
     bool submitted = false;
+    bool done = false;
+    int attempts = 0;  // Failed attempts on the current worker.
     double input_bytes = 0.0;
   };
   struct StageRuntime {
@@ -131,7 +171,15 @@ class JobManager {
   const ExecutionPlan& plan() const { return job_->plan; }
   void MarkReady(TaskId t);
   void SubmitMonotask(MonotaskId m);
-  void OnMonotaskComplete(MonotaskId m);
+  void OnMonotaskComplete(MonotaskId m, int generation);
+  void OnMonotaskFailed(MonotaskId m, int generation);
+  void ResubmitMonotask(MonotaskId m, int generation);
+  // Resets a placed task's monotask progress and returns it to the ready
+  // pool, avoiding its previous worker (retry-exhaustion escalation).
+  void ResetTaskForReplacement(TaskId t);
+  // Restores the runtime counters of one task to its never-started state
+  // (returning completed monotask bytes to remaining_work_).
+  void ResetTaskRuntime(TaskId t);
   void CompleteTask(TaskId t);
   void RemoveFromReady(TaskId t);
 
@@ -152,6 +200,14 @@ class JobManager {
   int completed_tasks_ = 0;
   double finish_time_ = -1.0;
   double cpu_seconds_used_ = 0.0;
+
+  // Fault-tolerance policy and bookkeeping.
+  int max_monotask_attempts_ = 3;
+  double retry_backoff_base_ = 0.25;
+  double retry_backoff_cap_ = 4.0;
+  FaultStats* fault_stats_ = nullptr;
+  int recovering_outstanding_ = 0;
+  double recovery_start_ = -1.0;
 };
 
 }  // namespace ursa

@@ -32,6 +32,19 @@ double MetadataStore::DatasetBytes(JobId job, DataId data, int partitions) const
   return total;
 }
 
+int MetadataStore::DropWorker(WorkerId worker) {
+  int dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.worker == worker) {
+      it = map_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 void MetadataStore::DropJob(JobId job) {
   for (auto it = map_.begin(); it != map_.end();) {
     if (static_cast<JobId>((it->first >> 40) & 0xFFFFFFu) == job) {

@@ -29,6 +29,10 @@ class MetadataStore {
   // Frees all metadata of a finished job.
   void DropJob(JobId job);
 
+  // Drops every partition resident on `worker` (its data died with it).
+  // Returns the number of partitions dropped.
+  int DropWorker(WorkerId worker);
+
   size_t size() const { return map_.size(); }
 
  private:

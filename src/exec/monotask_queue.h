@@ -46,6 +46,9 @@ struct RunnableMonotask {
 
   // Fired on the simulator when the monotask finishes.
   std::function<void()> on_complete;
+  // Fired instead of on_complete when the monotask fails: a transient
+  // execution fault, or submission to an already-failed worker. Optional.
+  std::function<void()> on_failure;
 };
 
 class MonotaskQueue {

@@ -15,6 +15,14 @@ Worker::Worker(Simulator* sim, FlowSimulator* net, WorkerId id, const WorkerConf
   CHECK_GT(config_.disks, 0);
   CHECK_GT(config_.disk_bytes_per_sec, 0.0);
   CHECK_GT(config_.network_concurrency, 0);
+  ResetRateMonitors(0.0);
+}
+
+void Worker::ResetRateMonitors(double now) {
+  for (RateMonitor& mon : rates_) {
+    mon = RateMonitor{};
+    mon.window_start = now;
+  }
   rates_[static_cast<size_t>(ResourceType::kCpu)].rate = config_.cpu_byte_rate;
   rates_[static_cast<size_t>(ResourceType::kNetwork)].rate = config_.default_net_rate;
   rates_[static_cast<size_t>(ResourceType::kDisk)].rate = config_.disk_bytes_per_sec;
@@ -22,10 +30,12 @@ Worker::Worker(Simulator* sim, FlowSimulator* net, WorkerId id, const WorkerConf
 
 void Worker::Fail() {
   if (failed_) {
-    return;
+    return;  // Idempotent: never double-zero accounting.
   }
   failed_ = true;
   const double now = sim_->Now();
+  failed_since_ = now;
+  ++failure_epoch_;
   // Drain the queues and zero occupancy; scheduled completion events for
   // in-flight monotasks still fire but OnMonotaskDone suppresses them.
   for (auto& q : queues_) {
@@ -51,9 +61,67 @@ void Worker::Fail() {
   }
 }
 
+void Worker::Recover() {
+  if (!failed_) {
+    return;
+  }
+  failed_ = false;
+  // The machine comes back empty: queues and occupancy were cleared at
+  // failure time; rate monitors restart from factory defaults, and any
+  // straggler injection is gone with the old process.
+  ResetRateMonitors(sim_->Now());
+  speed_factor_ = 1.0;
+  pending_transient_failures_ = 0;
+  transient_failure_prob_ = 0.0;
+}
+
+void Worker::StartHeartbeats(double interval, std::function<void(WorkerId)> sink,
+                             std::function<bool()> active) {
+  CHECK_GT(interval, 0.0);
+  hb_interval_ = interval;
+  hb_sink_ = std::move(sink);
+  hb_active_ = std::move(active);
+  if (hb_running_) {
+    return;
+  }
+  hb_running_ = true;
+  ScheduleHeartbeat();
+}
+
+void Worker::ScheduleHeartbeat() {
+  sim_->Schedule(hb_interval_, [this] {
+    if (!hb_active_ || !hb_active_()) {
+      hb_running_ = false;  // Let the simulator drain; restartable.
+      return;
+    }
+    if (!failed_ && hb_sink_) {
+      hb_sink_(id_);
+    }
+    ScheduleHeartbeat();
+  });
+}
+
+void Worker::SetTransientFailureProfile(double p, uint64_t seed) {
+  CHECK_GE(p, 0.0);
+  CHECK_LE(p, 1.0);
+  transient_failure_prob_ = p;
+  transient_rng_ = Rng(seed);
+}
+
+void Worker::set_speed_factor(double factor) {
+  CHECK_GT(factor, 0.0);
+  CHECK_LE(factor, 1.0);
+  speed_factor_ = factor;
+}
+
 void Worker::Submit(RunnableMonotask mt) {
   if (failed_) {
-    return;  // The scheduler restarts affected jobs (section 4.3).
+    // Never strand the caller: report the loss so the job manager can
+    // re-place the task instead of waiting forever (section 4.3).
+    if (mt.on_failure) {
+      sim_->Schedule(0.0, std::move(mt.on_failure));
+    }
+    return;
   }
   // Latency-sensitive small network monotasks bypass the queue entirely and
   // do not consume a concurrency slot (section 4.2.3).
@@ -183,20 +251,23 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
   running_bytes_[static_cast<size_t>(r)] += mt.input_bytes;
   const double input_bytes = mt.input_bytes;
   std::function<void()> on_complete = std::move(mt.on_complete);
+  std::function<void()> on_failure = std::move(mt.on_failure);
   switch (r) {
     case ResourceType::kCpu: {
       if (counted) {
         AddCpuBusy(1.0);
         AddCpuAllocated(1.0);
       }
-      const double duration = std::max(mt.work, 0.0) / config_.cpu_byte_rate;
+      const double duration =
+          std::max(mt.work, 0.0) / (config_.cpu_byte_rate * speed_factor_);
       sim_->Schedule(duration, [this, r, input_bytes, duration, counted,
-                                cb = std::move(on_complete)]() mutable {
+                                cb = std::move(on_complete),
+                                fb = std::move(on_failure)]() mutable {
         if (counted) {
           AddCpuBusy(-1.0);
           AddCpuAllocated(-1.0);
         }
-        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb));
+        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb), std::move(fb));
       });
       break;
     }
@@ -204,13 +275,15 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
       if (counted) {
         AddDiskBusy(1.0);
       }
-      const double duration = std::max(mt.work, 0.0) / config_.disk_bytes_per_sec;
+      const double duration =
+          std::max(mt.work, 0.0) / (config_.disk_bytes_per_sec * speed_factor_);
       sim_->Schedule(duration, [this, r, input_bytes, duration, counted,
-                                cb = std::move(on_complete)]() mutable {
+                                cb = std::move(on_complete),
+                                fb = std::move(on_failure)]() mutable {
         if (counted) {
           AddDiskBusy(-1.0);
         }
-        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb));
+        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb), std::move(fb));
       });
       break;
     }
@@ -220,10 +293,10 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
       // concurrent pulls are represented as one aggregate flow into this
       // worker; purely local gathers move at the local copy rate.
       const double start = now;
-      auto finish = [this, r, input_bytes, start, counted,
-                     cb = std::move(on_complete)]() mutable {
+      auto finish = [this, r, input_bytes, start, counted, cb = std::move(on_complete),
+                     fb = std::move(on_failure)]() mutable {
         const double elapsed = sim_->Now() - start;
-        OnMonotaskDone(r, input_bytes, elapsed, counted, std::move(cb));
+        OnMonotaskDone(r, input_bytes, elapsed, counted, std::move(cb), std::move(fb));
       };
       double remote_bytes = 0.0;
       double local_bytes = 0.0;
@@ -253,17 +326,35 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
 }
 
 void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
-                            std::function<void()> on_complete) {
+                            std::function<void()> on_complete,
+                            std::function<void()> on_failure) {
   if (failed_) {
     return;  // The result of an in-flight monotask on a failed worker is lost.
   }
   running_bytes_[static_cast<size_t>(r)] -= input_bytes;
   running_bytes_[static_cast<size_t>(r)] =
       std::max(running_bytes_[static_cast<size_t>(r)], 0.0);
-  ++completed_[static_cast<size_t>(r)];
+  // Transient failure: the monotask consumed its resources but produced no
+  // result. Injected (scheduled) failures take precedence over the
+  // probabilistic profile.
+  bool transient_fail = false;
+  if (pending_transient_failures_ > 0) {
+    --pending_transient_failures_;
+    transient_fail = true;
+  } else if (transient_failure_prob_ > 0.0 &&
+             transient_rng_.Bernoulli(transient_failure_prob_)) {
+    transient_fail = true;
+  }
   RecordRate(r, input_bytes, elapsed);
-  if (on_complete) {
-    on_complete();
+  if (transient_fail) {
+    if (on_failure) {
+      on_failure();
+    }
+  } else {
+    ++completed_[static_cast<size_t>(r)];
+    if (on_complete) {
+      on_complete();
+    }
   }
   if (counted) {
     switch (r) {

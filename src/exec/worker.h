@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/time_series.h"
 #include "src/exec/monotask_queue.h"
 #include "src/net/flow_simulator.h"
@@ -53,6 +54,9 @@ class Worker {
   const WorkerConfig& config() const { return config_; }
 
   // --- Monotask execution path (Ursa). ---
+  // Enqueues a monotask. If the worker already failed, the monotask is not
+  // executed and its on_failure callback (when set) fires asynchronously so
+  // the submitting job manager never hangs on a silently-dropped monotask.
   void Submit(RunnableMonotask mt);
   // Re-sorts all queues after job priorities changed (SRJF).
   void Reprioritize(const std::function<double(JobId)>& priority_of);
@@ -60,9 +64,43 @@ class Worker {
   // --- Fault injection (section 4.3). ---
   // Marks the worker failed: queued monotasks are dropped, in-flight
   // completions are suppressed, memory accounting is zeroed, and further
-  // submissions are ignored. Utilization trackers stop at the failure time.
+  // submissions are rejected. Utilization trackers stop at the failure time.
+  // Idempotent: calling Fail() on an already-failed worker is a no-op.
   void Fail();
   bool failed() const { return failed_; }
+  // Simulated time of the most recent Fail(); -1 if never failed.
+  double failed_since() const { return failed_since_; }
+  // Incremented on every Fail(); lets the scheduler handle each failure
+  // episode exactly once even when both an external FailWorker() call and
+  // the heartbeat detector report it.
+  int failure_epoch() const { return failure_epoch_; }
+
+  // Brings a failed worker back online with empty queues, zeroed memory
+  // accounting and factory-default processing rates. Heartbeats resume on
+  // the next beat, which is how the failure detector learns of the rejoin.
+  // No-op if the worker is not failed.
+  void Recover();
+
+  // --- Heartbeats (section 4.3). ---
+  // Starts a periodic heartbeat chain on the simulator: every `interval`
+  // seconds, while `active` returns true, the worker reports to `sink`
+  // unless it is failed. The chain stops (and can be restarted) once
+  // `active` turns false so the simulator can drain. Idempotent while a
+  // chain is running.
+  void StartHeartbeats(double interval, std::function<void(WorkerId)> sink,
+                       std::function<bool()> active);
+
+  // --- Chaos knobs (FaultInjector). ---
+  // The next `count` monotasks finishing on this worker fail instead of
+  // completing (their on_failure callback fires; the work is wasted).
+  void InjectTransientFailures(int count) { pending_transient_failures_ += count; }
+  // Every finishing monotask independently fails with probability `p`,
+  // drawn from a deterministic per-worker stream seeded with `seed`.
+  void SetTransientFailureProfile(double p, uint64_t seed);
+  // Degraded-rate (straggler) mode: CPU and disk monotasks run at `factor`
+  // times normal speed (0 < factor <= 1 slows the worker down).
+  void set_speed_factor(double factor);
+  double speed_factor() const { return speed_factor_; }
 
   // --- Memory accounting (task granularity). ---
   bool TryAllocateMemory(double bytes);
@@ -122,8 +160,10 @@ class Worker {
   // Runs one monotask (resource already accounted by the caller).
   void Execute(RunnableMonotask mt, bool counted);
   void OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
-                      std::function<void()> on_complete);
+                      std::function<void()> on_complete, std::function<void()> on_failure);
   void RecordRate(ResourceType r, double bytes, double elapsed);
+  void ScheduleHeartbeat();
+  void ResetRateMonitors(double now);
 
   Simulator* sim_;
   FlowSimulator* net_;
@@ -132,6 +172,18 @@ class Worker {
 
   MonotaskQueue queues_[kNumMonotaskResources];
   bool failed_ = false;
+  double failed_since_ = -1.0;
+  int failure_epoch_ = 0;
+  // Chaos state.
+  int pending_transient_failures_ = 0;
+  double transient_failure_prob_ = 0.0;
+  Rng transient_rng_{0};
+  double speed_factor_ = 1.0;
+  // Heartbeat chain state.
+  bool hb_running_ = false;
+  double hb_interval_ = 0.0;
+  std::function<void(WorkerId)> hb_sink_;
+  std::function<bool()> hb_active_;
   int busy_cores_ = 0;
   int busy_disks_ = 0;
   int active_network_ = 0;

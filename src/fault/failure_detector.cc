@@ -1,0 +1,81 @@
+#include "src/fault/failure_detector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+FailureDetector::FailureDetector(Simulator* sim, Cluster* cluster,
+                                 const FailureDetectorConfig& config)
+    : sim_(sim), cluster_(cluster), config_(config) {
+  CHECK_GT(config_.heartbeat_interval, 0.0);
+  CHECK_GT(config_.detect_timeout, config_.heartbeat_interval)
+      << "detect_timeout must cover at least one missed heartbeat";
+  last_heartbeat_.resize(static_cast<size_t>(cluster_->size()), 0.0);
+  dead_.resize(static_cast<size_t>(cluster_->size()), false);
+}
+
+void FailureDetector::Activate(std::function<bool()> active) {
+  active_ = std::move(active);
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  const double now = sim_->Now();
+  for (int w = 0; w < cluster_->size(); ++w) {
+    // Grace period: a silent gap while the detector was idle is not evidence
+    // of failure.
+    last_heartbeat_[static_cast<size_t>(w)] = now;
+    cluster_->worker(static_cast<WorkerId>(w))
+        .StartHeartbeats(config_.heartbeat_interval,
+                         [this](WorkerId id) { OnHeartbeat(id); },
+                         [this] { return active_ && active_(); });
+  }
+  ScheduleSweep();
+}
+
+void FailureDetector::OnHeartbeat(WorkerId w) {
+  last_heartbeat_[static_cast<size_t>(w)] = sim_->Now();
+  if (dead_[static_cast<size_t>(w)]) {
+    // The worker came back after a downtime: re-register it.
+    dead_[static_cast<size_t>(w)] = false;
+    if (on_rejoin_) {
+      on_rejoin_(w);
+    }
+  }
+}
+
+void FailureDetector::ScheduleSweep() {
+  // Sweep at least twice per timeout so detection latency stays within
+  // detect_timeout + sweep_interval.
+  const double sweep = std::min(config_.heartbeat_interval, config_.detect_timeout / 2.0);
+  sim_->Schedule(sweep, [this] {
+    if (!active_ || !active_()) {
+      running_ = false;
+      return;
+    }
+    Sweep();
+    ScheduleSweep();
+  });
+}
+
+void FailureDetector::Sweep() {
+  const double now = sim_->Now();
+  for (int w = 0; w < cluster_->size(); ++w) {
+    const size_t i = static_cast<size_t>(w);
+    if (dead_[i]) {
+      continue;
+    }
+    const double silence = now - last_heartbeat_[i];
+    if (silence > config_.detect_timeout) {
+      dead_[i] = true;
+      ++detections_;
+      if (on_death_) {
+        on_death_(static_cast<WorkerId>(w), silence);
+      }
+    }
+  }
+}
+
+}  // namespace ursa

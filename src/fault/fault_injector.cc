@@ -1,0 +1,135 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace ursa {
+
+FaultPlan MakeRandomFaultPlan(const FaultPlanConfig& config) {
+  CHECK_GT(config.num_workers, 0);
+  CHECK_GE(config.horizon_end, config.horizon_start);
+  FaultPlan plan;
+  Rng rng(config.seed);
+  auto draw_time = [&] { return rng.Uniform(config.horizon_start, config.horizon_end); };
+
+  // Permanent crashes hit distinct workers and never a majority of the
+  // cluster, so at least one worker survives to carry the workload.
+  const int max_crashes = std::max(0, (config.num_workers - 1) / 2);
+  const int crashes = std::min(config.crashes, max_crashes);
+  if (crashes < config.crashes) {
+    LOG(Warning) << "fault plan capped crashes at " << crashes << " of "
+                 << config.num_workers << " workers";
+  }
+  std::vector<bool> crashed(static_cast<size_t>(config.num_workers), false);
+  for (int i = 0; i < crashes; ++i) {
+    WorkerId w;
+    do {
+      w = static_cast<WorkerId>(rng.UniformInt(static_cast<uint64_t>(config.num_workers)));
+    } while (crashed[static_cast<size_t>(w)]);
+    crashed[static_cast<size_t>(w)] = true;
+    FaultEvent event;
+    event.kind = FaultKind::kCrash;
+    event.time = draw_time();
+    event.worker = w;
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < config.crash_recovers; ++i) {
+    WorkerId w;
+    do {
+      w = static_cast<WorkerId>(rng.UniformInt(static_cast<uint64_t>(config.num_workers)));
+    } while (crashed[static_cast<size_t>(w)]);
+    FaultEvent event;
+    event.kind = FaultKind::kCrashRecover;
+    event.time = draw_time();
+    event.worker = w;
+    event.downtime = rng.Uniform(config.min_downtime, config.max_downtime);
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < config.transients; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kTransient;
+    event.time = draw_time();
+    event.worker =
+        static_cast<WorkerId>(rng.UniformInt(static_cast<uint64_t>(config.num_workers)));
+    event.count = config.transient_count;
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < config.degrades; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kDegrade;
+    event.time = draw_time();
+    event.worker =
+        static_cast<WorkerId>(rng.UniformInt(static_cast<uint64_t>(config.num_workers)));
+    event.duration = config.degrade_duration;
+    event.factor = config.degrade_factor;
+    plan.events.push_back(event);
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
+  return plan;
+}
+
+FaultInjector::FaultInjector(Simulator* sim, Cluster* cluster, FaultPlan plan,
+                             FaultStats* stats)
+    : sim_(sim), cluster_(cluster), plan_(std::move(plan)), stats_(stats) {}
+
+void FaultInjector::Arm() {
+  CHECK(!armed_) << "fault plan already armed";
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events) {
+    CHECK_GE(event.worker, 0);
+    CHECK_LT(event.worker, cluster_->size());
+    sim_->ScheduleAt(event.time, [this, event] { Apply(event); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  Worker& worker = cluster_->worker(event.worker);
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      if (worker.failed()) {
+        return;  // Already down; crashing twice is a no-op.
+      }
+      worker.Fail();
+      if (stats_ != nullptr) {
+        ++stats_->crashes_injected;
+      }
+      break;
+    case FaultKind::kCrashRecover:
+      if (worker.failed()) {
+        return;
+      }
+      worker.Fail();
+      if (stats_ != nullptr) {
+        ++stats_->crashes_injected;
+      }
+      sim_->Schedule(event.downtime, [this, w = event.worker] {
+        cluster_->worker(w).Recover();
+        if (stats_ != nullptr) {
+          ++stats_->recoveries_injected;
+        }
+      });
+      break;
+    case FaultKind::kTransient:
+      worker.InjectTransientFailures(event.count);
+      if (stats_ != nullptr) {
+        stats_->transients_injected += event.count;
+      }
+      break;
+    case FaultKind::kDegrade: {
+      CHECK_GT(event.factor, 0.0);
+      worker.set_speed_factor(event.factor);
+      if (stats_ != nullptr) {
+        ++stats_->degrades_injected;
+      }
+      sim_->Schedule(event.duration, [this, w = event.worker] {
+        cluster_->worker(w).set_speed_factor(1.0);
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace ursa

@@ -1,0 +1,84 @@
+// Counters and time series describing fault-tolerance behavior of one run:
+// injected faults, heartbeat detections, monotask retries, lineage-recovery
+// resets and full restarts. The scheduler, job managers, failure detector and
+// fault injector all write into one shared FaultStats instance so the metrics
+// layer can report recovery behavior instead of merely asserting it.
+#ifndef SRC_FAULT_FAULT_STATS_H_
+#define SRC_FAULT_FAULT_STATS_H_
+
+#include <vector>
+
+#include "src/common/time_series.h"
+
+namespace ursa {
+
+struct FaultStats {
+  // --- Injected faults (written by the FaultInjector). ---
+  int crashes_injected = 0;
+  int recoveries_injected = 0;
+  int transients_injected = 0;
+  int degrades_injected = 0;
+
+  // --- Detection (written by the scheduler / failure detector). ---
+  int detections = 0;
+  int rejoins = 0;
+  // Sum over detections of (declare time - actual failure time).
+  double total_detection_latency = 0.0;
+
+  // --- Monotask-level failures (written by job managers). ---
+  int transient_failures = 0;   // Monotask failed on a live worker.
+  int worker_loss_failures = 0; // Monotask lost because its worker died.
+  int retries = 0;              // Backoff resubmissions to the same worker.
+  int escalations = 0;          // Task re-placements after exhausted retries.
+
+  // --- Recovery (written by the scheduler / job managers). ---
+  int tasks_reset = 0;                 // Tasks re-executed by lineage recovery.
+  int full_restart_equivalent_tasks = 0;  // Started tasks a full restart would redo.
+  int full_restarts = 0;               // Whole-job restarts (lineage disabled).
+  // Per recovery episode: detection -> all reset tasks re-completed.
+  std::vector<double> recovery_latencies;
+
+  // --- Cumulative time series for post-run plots. ---
+  StepTracker detections_series;
+  StepTracker retries_series;
+  StepTracker reexec_series;
+
+  void RecordDetection(double now, double latency) {
+    ++detections;
+    total_detection_latency += latency;
+    detections_series.Set(now, static_cast<double>(detections));
+  }
+  void RecordRejoin(double now) { ++rejoins; }
+  void RecordRetry(double now) {
+    ++retries;
+    retries_series.Set(now, static_cast<double>(retries));
+  }
+  void RecordTasksReset(double now, int count) {
+    tasks_reset += count;
+    reexec_series.Set(now, static_cast<double>(tasks_reset));
+  }
+  void RecordRecoveryLatency(double seconds) { recovery_latencies.push_back(seconds); }
+
+  double avg_detection_latency() const {
+    return detections > 0 ? total_detection_latency / detections : 0.0;
+  }
+  double avg_recovery_latency() const {
+    if (recovery_latencies.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : recovery_latencies) {
+      sum += v;
+    }
+    return sum / static_cast<double>(recovery_latencies.size());
+  }
+  bool any_faults() const {
+    return crashes_injected + recoveries_injected + transients_injected + degrades_injected +
+               detections + transient_failures + worker_loss_failures + full_restarts >
+           0;
+  }
+};
+
+}  // namespace ursa
+
+#endif  // SRC_FAULT_FAULT_STATS_H_

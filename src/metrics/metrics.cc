@@ -5,6 +5,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/stats.h"
+#include "src/common/table.h"
 
 namespace ursa {
 
@@ -117,6 +118,39 @@ double MetricsCollector::StragglerTimeRatio(
     }
   }
   return 100.0 * ratio_sum / static_cast<double>(jcts.size());
+}
+
+void MetricsCollector::PrintFaultReport(const FaultStats& stats, const std::string& title) {
+  if (!stats.any_faults()) {
+    return;
+  }
+  Table injected({"crashes", "crash+recover", "transients", "degrades"});
+  injected.Row()
+      .Cell(static_cast<int64_t>(stats.crashes_injected))
+      .Cell(static_cast<int64_t>(stats.recoveries_injected))
+      .Cell(static_cast<int64_t>(stats.transients_injected))
+      .Cell(static_cast<int64_t>(stats.degrades_injected));
+  injected.Print(title + " - injected faults");
+
+  Table detection({"detections", "rejoins", "avgDetectLat(s)", "avgRecoveryLat(s)"});
+  detection.Row()
+      .Cell(static_cast<int64_t>(stats.detections))
+      .Cell(static_cast<int64_t>(stats.rejoins))
+      .Cell(stats.avg_detection_latency(), 3)
+      .Cell(stats.avg_recovery_latency(), 3);
+  detection.Print(title + " - detection & recovery");
+
+  Table recovery({"transientFails", "lostOnWorker", "retries", "escalations", "tasksReset",
+                  "fullRestartEquiv", "fullRestarts"});
+  recovery.Row()
+      .Cell(static_cast<int64_t>(stats.transient_failures))
+      .Cell(static_cast<int64_t>(stats.worker_loss_failures))
+      .Cell(static_cast<int64_t>(stats.retries))
+      .Cell(static_cast<int64_t>(stats.escalations))
+      .Cell(static_cast<int64_t>(stats.tasks_reset))
+      .Cell(static_cast<int64_t>(stats.full_restart_equivalent_tasks))
+      .Cell(static_cast<int64_t>(stats.full_restarts));
+  recovery.Print(title + " - recovery work");
 }
 
 }  // namespace ursa

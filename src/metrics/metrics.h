@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/exec/cluster.h"
+#include "src/fault/fault_stats.h"
 
 namespace ursa {
 
@@ -70,6 +71,11 @@ class MetricsCollector {
   static double StragglerTimeRatio(
       const std::vector<std::vector<std::vector<double>>>& stage_task_times,
       const std::vector<double>& jcts);
+
+  // Prints the fault-tolerance summary of one run (injected faults,
+  // detection latency, retries, lineage-recovery savings). No-op when the
+  // run had no faults.
+  static void PrintFaultReport(const FaultStats& stats, const std::string& title);
 };
 
 }  // namespace ursa

@@ -21,6 +21,13 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
   if (config_.placement != PlacementAlgorithm::kAlgorithm1) {
     packing_ = std::make_unique<PackingState>(cluster, config_.placement);
   }
+  handled_epoch_.resize(static_cast<size_t>(cluster_->size()), 0);
+  if (config_.fault.enable_heartbeat_detection) {
+    detector_ = std::make_unique<FailureDetector>(sim_, cluster_, config_.fault.detector);
+    detector_->set_on_death(
+        [this](WorkerId w, double silence) { HandleWorkerFailure(w); });
+    detector_->set_on_rejoin([this](WorkerId w) { OnWorkerRejoined(w); });
+  }
 }
 
 UrsaScheduler::~UrsaScheduler() = default;
@@ -53,27 +60,86 @@ const JobManager* UrsaScheduler::job_manager(JobId id) const {
 int UrsaScheduler::FailWorker(WorkerId worker_id) {
   Worker& worker = cluster_->worker(worker_id);
   if (worker.failed()) {
-    return 0;
+    return 0;  // Idempotent: this failure episode is already in progress.
   }
   worker.Fail();
-  int restarted = 0;
+  return HandleWorkerFailure(worker_id);
+}
+
+int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
+  Worker& worker = cluster_->worker(worker_id);
+  if (!worker.failed()) {
+    // The detector declared a worker that is actually alive (e.g. degraded
+    // but heartbeating slowly in a future model); nothing to recover.
+    return 0;
+  }
+  // An explicit FailWorker() call and a later heartbeat-timeout declaration
+  // of the same crash must recover exactly once.
+  if (handled_epoch_[static_cast<size_t>(worker_id)] == worker.failure_epoch()) {
+    return 0;
+  }
+  handled_epoch_[static_cast<size_t>(worker_id)] = worker.failure_epoch();
+  const double now = sim_->Now();
+  fault_stats_.RecordDetection(now, std::max(0.0, now - worker.failed_since()));
+  // Drop the worker's metadata before recovery so the lineage pass sees
+  // exactly which outputs are gone. Safe: any task that could read a dropped
+  // partition is reset by the lineage fixpoint and only becomes ready again
+  // after its producers have re-Put their outputs.
+  cluster_->metadata().DropWorker(worker_id);
+
+  int affected = 0;
   for (auto& entry : jobs_) {
-    if (!entry->admitted || entry->finished || !entry->jm->DependsOnWorker(worker_id)) {
+    if (!entry->admitted || entry->finished) {
       continue;
     }
-    // Restart from the input checkpoint with a fresh job manager; the
-    // admission reservation carries over.
-    entry->jm->Abort();
-    aborted_jms_.push_back(std::move(entry->jm));
-    entry->jm = std::make_unique<JobManager>(sim_, cluster_, entry->job.get(), this);
-    entry->jm->set_use_intra_ordering(config_.enable_monotask_ordering);
-    entry->jm->set_priority(config_.enable_monotask_ordering ? entry->job->submit_time : 0.0);
-    entry->jm->Start();
-    ++restarted;
+    if (config_.fault.enable_lineage_recovery) {
+      JobManager::RecoveryResult r = entry->jm->RecoverFromWorkerFailure(worker_id);
+      if (r.inputs_lost) {
+        FullRestart(*entry);
+        ++affected;
+        continue;
+      }
+      if (r.tasks_reset > 0) {
+        fault_stats_.RecordTasksReset(now, r.tasks_reset);
+        fault_stats_.full_restart_equivalent_tasks += r.tasks_started_before;
+        ++affected;
+      }
+    } else if (entry->jm->DependsOnWorker(worker_id)) {
+      FullRestart(*entry);
+      ++affected;
+    }
   }
-  total_restarts_ += restarted;
   EnsureTickScheduled();
-  return restarted;
+  return affected;
+}
+
+void UrsaScheduler::OnWorkerRejoined(WorkerId worker_id) {
+  fault_stats_.RecordRejoin(sim_->Now());
+  // The worker re-registered empty; the next tick may place tasks on it.
+  placement_dirty_ = true;
+  EnsureTickScheduled();
+}
+
+void UrsaScheduler::StartJobManager(JobEntry& entry) {
+  entry.jm = std::make_unique<JobManager>(sim_, cluster_, entry.job.get(), this);
+  entry.jm->set_use_intra_ordering(config_.enable_monotask_ordering);
+  // EJF queue priority: admission (submission) order. SRJF ranks are
+  // refreshed every tick.
+  entry.jm->set_priority(config_.enable_monotask_ordering ? entry.job->submit_time : 0.0);
+  entry.jm->ConfigureFaultPolicy(config_.fault.max_monotask_attempts,
+                                 config_.fault.retry_backoff_base,
+                                 config_.fault.retry_backoff_cap, &fault_stats_);
+  entry.jm->Start();
+}
+
+void UrsaScheduler::FullRestart(JobEntry& entry) {
+  // Restart from the input checkpoint with a fresh job manager; the
+  // admission reservation carries over.
+  entry.jm->Abort();
+  aborted_jms_.push_back(std::move(entry.jm));
+  StartJobManager(entry);
+  ++total_restarts_;
+  ++fault_stats_.full_restarts;
 }
 
 void UrsaScheduler::OnTaskReady(JobId job, TaskId task) {
@@ -109,6 +175,11 @@ void UrsaScheduler::EnsureTickScheduled() {
   }
   tick_scheduled_ = true;
   sim_->Schedule(config_.scheduling_interval, [this] { Tick(); });
+  if (detector_ != nullptr) {
+    // (Re)start heartbeats and sweeps; both stop when the cluster goes idle
+    // so the event queue can drain.
+    detector_->Activate([this] { return active_jobs_ > 0 || !waiting_admission_.empty(); });
+  }
 }
 
 void UrsaScheduler::Tick() {
@@ -170,14 +241,7 @@ void UrsaScheduler::TryAdmitJobs() {
     entry.admitted = true;
     ++active_jobs_;
     records_[static_cast<size_t>(id)].admit_time = sim_->Now();
-    entry.jm = std::make_unique<JobManager>(sim_, cluster_, entry.job.get(), this);
-    entry.jm->set_use_intra_ordering(config_.enable_monotask_ordering);
-    // EJF queue priority: admission (submission) order. SRJF ranks are
-    // refreshed every tick.
-    entry.jm->set_priority(config_.enable_monotask_ordering
-                               ? entry.job->submit_time
-                               : 0.0);
-    entry.jm->Start();
+    StartJobManager(entry);
   }
 }
 
@@ -244,7 +308,8 @@ std::vector<UrsaScheduler::WorkerLoad> UrsaScheduler::SnapshotLoads() const {
 }
 
 bool UrsaScheduler::BestWorker(const TaskUsage& usage, const std::vector<WorkerLoad>& loads,
-                               double ept, WorkerId* out_worker, double* out_score) const {
+                               double ept, WorkerId* out_worker, double* out_score,
+                               WorkerId avoid) const {
   // The D_r == 0 skip rule (section 4.2.2) only helps while some worker
   // still has headroom in r to steer toward; when the whole cluster is
   // backlogged on r, refusing every worker would merely idle the other
@@ -258,6 +323,9 @@ bool UrsaScheduler::BestWorker(const TaskUsage& usage, const std::vector<WorkerL
   double best_score = -1.0;
   WorkerId best = kInvalidId;
   for (size_t w = 0; w < loads.size(); ++w) {
+    if (static_cast<WorkerId>(w) == avoid) {
+      continue;
+    }
     const WorkerLoad& load = loads[w];
     if (usage.memory > load.free_memory) {
       continue;
@@ -305,6 +373,11 @@ bool UrsaScheduler::BestWorker(const TaskUsage& usage, const std::vector<WorkerL
     }
   }
   if (best == kInvalidId) {
+    if (avoid != kInvalidId) {
+      // Preference only: if the avoided worker is the sole candidate (e.g. a
+      // one-worker cluster), place there rather than livelock.
+      return BestWorker(usage, loads, ept, out_worker, out_score, kInvalidId);
+    }
     return false;
   }
   *out_worker = best;
@@ -336,7 +409,7 @@ UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(const JobEntry& entry, StageI
     const TaskUsage usage = entry.jm->GetUsage(t);
     WorkerId w = kInvalidId;
     double f = 0.0;
-    if (!BestWorker(usage, loads, ept, &w, &f)) {
+    if (!BestWorker(usage, loads, ept, &w, &f, entry.jm->avoided_worker(t))) {
       plan.complete = false;  // stage_bonus <- 0 in Algorithm 1.
       continue;
     }
@@ -461,7 +534,7 @@ void UrsaScheduler::RunPlacement() {
       const TaskUsage usage = c.entry->jm->GetUsage(t);
       WorkerId w = kInvalidId;
       double f = 0.0;
-      if (!BestWorker(usage, master, ept, &w, &f)) {
+      if (!BestWorker(usage, master, ept, &w, &f, c.entry->jm->avoided_worker(t))) {
         continue;
       }
       if (c.entry->jm->PlaceTask(t, w)) {

@@ -27,6 +27,8 @@
 #include "src/baselines/packing_schedulers.h"
 #include "src/exec/cluster.h"
 #include "src/exec/job_manager.h"
+#include "src/fault/failure_detector.h"
+#include "src/fault/fault_stats.h"
 #include "src/metrics/metrics.h"
 #include "src/scheduler/job_ordering.h"
 
@@ -56,6 +58,9 @@ struct UrsaSchedulerConfig {
   bool enable_monotask_ordering = true;
   // Fraction of cluster memory usable for admission reservations.
   double admission_memory_fraction = 1.0;
+  // Fault tolerance (section 4.3): heartbeat detection, lineage recovery
+  // and the transient-failure retry policy.
+  FaultToleranceConfig fault;
 };
 
 class UrsaScheduler : public JobManagerListener {
@@ -67,12 +72,21 @@ class UrsaScheduler : public JobManagerListener {
   // and its job manager.
   void SubmitJob(std::unique_ptr<Job> job);
 
-  // Fault injection (section 4.3): marks the worker failed (as detected via
-  // missed heartbeats), excludes it from placement, and restarts every
-  // active job that had tasks or data on it from its input checkpoint.
-  // Returns the number of jobs restarted.
+  // External fault injection (section 4.3): kills the worker and handles the
+  // failure immediately (without waiting for the heartbeat detector).
+  // Recovery is stage-level lineage recovery by default, or a full restart
+  // from the input checkpoint when `fault.enable_lineage_recovery` is off.
+  // Returns the number of jobs affected; idempotent — a second call on an
+  // already-failed worker returns 0 and changes nothing.
   int FailWorker(WorkerId worker);
   int total_restarts() const { return total_restarts_; }
+
+  // Recovery/retry/detection counters for this run (also written to by the
+  // failure detector, the job managers and the FaultInjector).
+  const FaultStats& fault_stats() const { return fault_stats_; }
+  FaultStats* mutable_fault_stats() { return &fault_stats_; }
+  // Null when heartbeat detection is disabled.
+  const FailureDetector* failure_detector() const { return detector_.get(); }
 
   // JobManagerListener:
   void OnTaskReady(JobId job, TaskId task) override;
@@ -103,6 +117,15 @@ class UrsaScheduler : public JobManagerListener {
   void RunPlacement();
   void RunPackingPlacement();
 
+  // Recovery entry point shared by FailWorker() and the heartbeat detector.
+  // Handles each worker-failure epoch exactly once; returns affected jobs.
+  int HandleWorkerFailure(WorkerId worker);
+  void OnWorkerRejoined(WorkerId worker);
+  // Restarts one job from its input checkpoint with a fresh job manager.
+  void FullRestart(JobEntry& entry);
+  // Creates and starts a job manager for an admitted or restarted job.
+  void StartJobManager(JobEntry& entry);
+
   // One candidate placement for a stage of ready tasks.
   struct StagePlan {
     JobId job = kInvalidId;
@@ -128,8 +151,11 @@ class UrsaScheduler : public JobManagerListener {
                        const std::vector<TaskId>& tasks, std::vector<WorkerLoad> loads,
                        double ept) const;
   // Best worker for one task; returns false if no worker qualifies.
+  // `avoid` (from retry-exhaustion escalation) is skipped if any other
+  // worker qualifies, so a re-placed task lands elsewhere whenever possible.
   bool BestWorker(const TaskUsage& usage, const std::vector<WorkerLoad>& loads, double ept,
-                  WorkerId* out_worker, double* out_score) const;
+                  WorkerId* out_worker, double* out_score,
+                  WorkerId avoid = kInvalidId) const;
   static void ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load);
 
   Simulator* sim_;
@@ -144,6 +170,13 @@ class UrsaScheduler : public JobManagerListener {
   std::vector<JobRecord> records_;
 
   std::unique_ptr<PackingState> packing_;  // Non-null for packing placements.
+  // Non-null when heartbeat detection is enabled.
+  std::unique_ptr<FailureDetector> detector_;
+  FaultStats fault_stats_;
+  // Last Worker::failure_epoch() handled per worker, so an explicit
+  // FailWorker() call and a later detector declaration of the same crash
+  // trigger recovery exactly once.
+  std::vector<int> handled_epoch_;
   double reserved_memory_ = 0.0;
   int total_jobs_ = 0;
   int total_restarts_ = 0;

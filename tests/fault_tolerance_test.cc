@@ -1,7 +1,10 @@
-// Fault tolerance (section 4.3): worker failure detection and job restart
-// from the input checkpoint.
+// Fault tolerance (section 4.3): heartbeat failure detection, stage-level
+// lineage recovery, transient-failure retries with backoff, worker rejoin
+// and full-restart fallback.
 #include <gtest/gtest.h>
 
+#include "src/driver/experiment.h"
+#include "src/fault/fault_injector.h"
 #include "src/scheduler/ursa_scheduler.h"
 #include "src/workloads/tpch.h"
 
@@ -41,6 +44,8 @@ TEST_F(FaultToleranceTest, FailedWorkerDropsWorkAndRejectsSubmissions) {
 
 TEST_F(FaultToleranceTest, JobsRestartAndFinishAfterWorkerFailure) {
   UrsaSchedulerConfig sc;
+  // This test exercises the full-restart fallback path specifically.
+  sc.fault.enable_lineage_recovery = false;
   UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
   TpchWorkloadConfig wc;
   wc.num_jobs = 4;
@@ -99,6 +104,214 @@ TEST_F(FaultToleranceTest, DoubleFailureIsIdempotent) {
   scheduler.FailWorker(3);
   EXPECT_EQ(scheduler.FailWorker(3), 0);
   EXPECT_TRUE(cluster_->worker(3).failed());
+}
+
+TEST_F(FaultToleranceTest, WorkerFailIsIdempotentAndRecoverable) {
+  Worker& worker = cluster_->worker(0);
+  ASSERT_TRUE(worker.TryAllocateMemory(1e9));
+  worker.Fail();
+  EXPECT_EQ(worker.failure_epoch(), 1);
+  EXPECT_DOUBLE_EQ(worker.free_memory(), worker.memory_capacity());
+  // A second Fail() must not start a new failure episode.
+  worker.Fail();
+  EXPECT_EQ(worker.failure_epoch(), 1);
+  EXPECT_TRUE(worker.failed());
+  worker.Recover();
+  EXPECT_FALSE(worker.failed());
+  EXPECT_TRUE(worker.TryAllocateMemory(1e9));
+  worker.Fail();
+  EXPECT_EQ(worker.failure_epoch(), 2);
+}
+
+TEST_F(FaultToleranceTest, SubmitOnFailedWorkerFiresFailureCallback) {
+  Worker& worker = cluster_->worker(0);
+  worker.Fail();
+  bool failed_cb = false;
+  int completed = 0;
+  RunnableMonotask mt;
+  mt.type = ResourceType::kCpu;
+  mt.work = 100e6;
+  mt.input_bytes = 100e6;
+  mt.on_complete = [&] { ++completed; };
+  mt.on_failure = [&] { failed_cb = true; };
+  worker.Submit(std::move(mt));
+  sim_.Run();
+  EXPECT_TRUE(failed_cb);
+  EXPECT_EQ(completed, 0);
+}
+
+TEST_F(FaultToleranceTest, HeartbeatTimeoutDetectsFailureWithoutExplicitReport) {
+  UrsaSchedulerConfig sc;
+  sc.fault.detector.heartbeat_interval = 0.25;
+  sc.fault.detector.detect_timeout = 1.0;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 4;
+  wc.submit_interval = 1.0;
+  wc.seed = 31;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  // The worker silently dies; nobody calls FailWorker().
+  sim_.Schedule(10.0, [&] { cluster_->worker(1).Fail(); });
+  sim_.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished());
+  ASSERT_NE(scheduler.failure_detector(), nullptr);
+  EXPECT_TRUE(scheduler.failure_detector()->declared_dead(1));
+  EXPECT_EQ(scheduler.fault_stats().detections, 1);
+  // Declared within detect_timeout plus one heartbeat and one sweep period.
+  EXPECT_LE(scheduler.fault_stats().avg_detection_latency(),
+            sc.fault.detector.detect_timeout + 2.0 * sc.fault.detector.heartbeat_interval);
+}
+
+TEST_F(FaultToleranceTest, LineageRecoveryReExecutesFewerTasksThanFullRestart) {
+  UrsaSchedulerConfig sc;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 4;
+  wc.submit_interval = 1.0;
+  wc.seed = 31;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  sim_.Schedule(10.0, [&] { EXPECT_GT(scheduler.FailWorker(1), 0); });
+  sim_.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished());
+  // Stage-level recovery: no job restarted from scratch...
+  EXPECT_EQ(scheduler.total_restarts(), 0);
+  const FaultStats& stats = scheduler.fault_stats();
+  // ...some tasks re-executed, but strictly fewer than a full restart of the
+  // affected jobs would redo.
+  EXPECT_GT(stats.tasks_reset, 0);
+  EXPECT_LT(stats.tasks_reset, stats.full_restart_equivalent_tasks);
+  EXPECT_GT(stats.recovery_latencies.size(), 0u);
+  for (int w = 0; w < cluster_->size(); ++w) {
+    if (!cluster_->worker(w).failed()) {
+      EXPECT_NEAR(cluster_->worker(w).free_memory(),
+                  cluster_->worker(w).memory_capacity(), 1.0);
+    }
+  }
+}
+
+TEST_F(FaultToleranceTest, TransientFailuresAreRetriedWithBackoff) {
+  UrsaSchedulerConfig sc;
+  sc.fault.max_monotask_attempts = 3;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 3;
+  wc.submit_interval = 1.0;
+  wc.seed = 47;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  sim_.Schedule(5.0, [&] { cluster_->worker(2).InjectTransientFailures(5); });
+  sim_.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished());
+  const FaultStats& stats = scheduler.fault_stats();
+  EXPECT_GE(stats.transient_failures, 5);
+  EXPECT_GE(stats.retries, 5);
+  EXPECT_EQ(scheduler.total_restarts(), 0);
+}
+
+TEST_F(FaultToleranceTest, ExhaustedRetriesEscalateToReplacement) {
+  UrsaSchedulerConfig sc;
+  // A single attempt: the first transient failure already escalates.
+  sc.fault.max_monotask_attempts = 1;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 3;
+  wc.submit_interval = 1.0;
+  wc.seed = 47;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  sim_.Schedule(5.0, [&] { cluster_->worker(2).InjectTransientFailures(3); });
+  sim_.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished());
+  const FaultStats& stats = scheduler.fault_stats();
+  EXPECT_GE(stats.escalations, 3);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+TEST_F(FaultToleranceTest, RecoveredWorkerRejoinsAndReceivesPlacements) {
+  UrsaSchedulerConfig sc;
+  sc.fault.detector.heartbeat_interval = 0.25;
+  sc.fault.detector.detect_timeout = 1.0;
+  UrsaScheduler scheduler(&sim_, cluster_.get(), sc);
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 8;
+  wc.submit_interval = 2.0;
+  wc.seed = 31;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim_.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  int64_t completed_at_rejoin = -1;
+  sim_.Schedule(8.0, [&] { cluster_->worker(1).Fail(); });
+  sim_.Schedule(14.0, [&] {
+    cluster_->worker(1).Recover();
+    completed_at_rejoin = cluster_->worker(1).completed(ResourceType::kCpu);
+  });
+  sim_.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished());
+  const FaultStats& stats = scheduler.fault_stats();
+  EXPECT_EQ(stats.detections, 1);
+  EXPECT_EQ(stats.rejoins, 1);
+  ASSERT_NE(scheduler.failure_detector(), nullptr);
+  EXPECT_FALSE(scheduler.failure_detector()->declared_dead(1));
+  // The rejoined worker went back to useful work.
+  EXPECT_GT(cluster_->worker(1).completed(ResourceType::kCpu), completed_at_rejoin);
+}
+
+TEST_F(FaultToleranceTest, ChaosRunsAreDeterministicUnderFixedSeed) {
+  FaultPlanConfig pc;
+  pc.seed = 7;
+  pc.num_workers = 4;
+  pc.horizon_start = 5.0;
+  pc.horizon_end = 40.0;
+  pc.crashes = 1;
+  pc.crash_recovers = 1;
+  pc.transients = 3;
+  const FaultPlan plan = MakeRandomFaultPlan(pc);
+  ASSERT_EQ(plan.events.size(), 5u);
+
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 4;
+  wc.submit_interval = 1.0;
+  wc.seed = 31;
+  const Workload workload = MakeTpchWorkload(wc);
+
+  auto run_once = [&] {
+    ExperimentConfig config = UrsaEjfConfig();
+    config.cluster.num_workers = 4;
+    config.cluster.worker.cores = 8;
+    config.cluster.worker.cpu_byte_rate = 100e6;
+    config.fault_plan = plan;
+    return RunExperiment(workload, config, "chaos");
+  };
+  const ExperimentResult a = run_once();
+  const ExperimentResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+  EXPECT_DOUBLE_EQ(a.avg_jct(), b.avg_jct());
+  EXPECT_EQ(a.faults.detections, b.faults.detections);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.tasks_reset, b.faults.tasks_reset);
+  EXPECT_EQ(a.faults.escalations, b.faults.escalations);
+  EXPECT_TRUE(a.faults.any_faults());
 }
 
 }  // namespace

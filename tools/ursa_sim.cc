@@ -7,9 +7,14 @@
 //              tetris | tetris2 | capacity
 // Options:     --jobs=N --interval=SEC --seed=N --workers=N --gbps=G
 //              --subscription=R (executor schemes) --series=STEP
+// Chaos:       --fault-crashes=N --fault-recovers=N --fault-transients=N
+//              --fault-degrades=N --fault-seed=N --fault-horizon=SEC
+//              --detect-timeout=SEC --heartbeat=SEC --no-lineage
+//              --retry-attempts=N
 //
-// Prints the paper-style summary (makespan, avg JCT, SE/UE) and optionally
-// a sampled cluster-utilization series.
+// Prints the paper-style summary (makespan, avg JCT, SE/UE), a fault report
+// when chaos was injected, and optionally a sampled cluster-utilization
+// series.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +40,17 @@ struct Flags {
   double gbps = 10.0;
   double subscription = 1.0;
   double series = 0.0;
+  // Chaos fault injection (Ursa schemes only).
+  int fault_crashes = 0;
+  int fault_recovers = 0;
+  int fault_transients = 0;
+  int fault_degrades = 0;
+  uint64_t fault_seed = 1;
+  double fault_horizon = 100.0;
+  double detect_timeout = 2.0;
+  double heartbeat = 0.5;
+  bool no_lineage = false;
+  int retry_attempts = 3;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -52,7 +68,12 @@ int Usage() {
                "                [--scheduler=ursa-ejf|ursa-srjf|y+s|y+t|y+u|tetris|tetris2|"
                "capacity]\n"
                "                [--jobs=N] [--interval=SEC] [--seed=N] [--workers=N]\n"
-               "                [--gbps=G] [--subscription=R] [--series=STEP]\n");
+               "                [--gbps=G] [--subscription=R] [--series=STEP]\n"
+               "                [--fault-crashes=N] [--fault-recovers=N]\n"
+               "                [--fault-transients=N] [--fault-degrades=N]\n"
+               "                [--fault-seed=N] [--fault-horizon=SEC]\n"
+               "                [--detect-timeout=SEC] [--heartbeat=SEC]\n"
+               "                [--no-lineage] [--retry-attempts=N]\n");
   return 2;
 }
 
@@ -81,6 +102,26 @@ int main(int argc, char** argv) {
       flags.subscription = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "series", &value)) {
       flags.series = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-crashes", &value)) {
+      flags.fault_crashes = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-recovers", &value)) {
+      flags.fault_recovers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-transients", &value)) {
+      flags.fault_transients = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-degrades", &value)) {
+      flags.fault_degrades = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "fault-seed", &value)) {
+      flags.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "fault-horizon", &value)) {
+      flags.fault_horizon = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "detect-timeout", &value)) {
+      flags.detect_timeout = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "heartbeat", &value)) {
+      flags.heartbeat = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--no-lineage") == 0) {
+      flags.no_lineage = true;
+    } else if (ParseFlag(argv[i], "retry-attempts", &value)) {
+      flags.retry_attempts = std::atoi(value.c_str());
     } else {
       return Usage();
     }
@@ -140,6 +181,25 @@ int main(int argc, char** argv) {
   config.cm.cpu_subscription_ratio = flags.subscription;
   config.sample_step = flags.series;
 
+  // Fault-tolerance knobs and the chaos plan.
+  config.ursa.fault.detector.heartbeat_interval = flags.heartbeat;
+  config.ursa.fault.detector.detect_timeout = flags.detect_timeout;
+  config.ursa.fault.enable_lineage_recovery = !flags.no_lineage;
+  config.ursa.fault.max_monotask_attempts = flags.retry_attempts;
+  if (flags.fault_crashes + flags.fault_recovers + flags.fault_transients +
+          flags.fault_degrades >
+      0) {
+    FaultPlanConfig pc;
+    pc.seed = flags.fault_seed;
+    pc.num_workers = flags.workers;
+    pc.horizon_end = flags.fault_horizon;
+    pc.crashes = flags.fault_crashes;
+    pc.crash_recovers = flags.fault_recovers;
+    pc.transients = flags.fault_transients;
+    pc.degrades = flags.fault_degrades;
+    config.fault_plan = MakeRandomFaultPlan(pc);
+  }
+
   const ExperimentResult result = RunExperiment(workload, config, flags.scheduler);
 
   Table table({"scheme", "jobs", "makespan", "avgJCT", "UEcpu", "SEcpu", "UEmem", "SEmem",
@@ -155,6 +215,7 @@ int main(int argc, char** argv) {
       .Cell(result.efficiency.se_mem)
       .Cell(result.straggler_ratio, 2);
   table.Print(flags.workload + " on " + std::to_string(flags.workers) + " workers");
+  MetricsCollector::PrintFaultReport(result.faults, flags.scheduler);
 
   if (flags.series > 0.0) {
     PrintSeriesCsv(flags.scheduler, result.series.t0, result.series.step, result.series.cpu,
