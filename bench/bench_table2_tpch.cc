@@ -10,8 +10,12 @@
 #include "bench/bench_util.h"
 #include "src/workloads/tpch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ursa;
+  BenchTraceOptions trace;
+  if (!ParseBenchTraceFlags(argc, argv, &trace)) {
+    return 2;
+  }
   TpchWorkloadConfig wc;
   wc.num_jobs = 200;
   wc.submit_interval = 5.0;
@@ -26,7 +30,7 @@ int main() {
   };
   const auto results =
       RunSchemes(workload, std::move(schemes), "Table 2: TPC-H (makespan/avgJCT s, rest %)",
-                 /*sample_step=*/5.0);
+                 /*sample_step=*/5.0, &trace);
 
   std::printf("\nFigure 4: cluster utilization, 10-minute window [1000s, 1600s]\n");
   for (const ExperimentResult& result : results) {

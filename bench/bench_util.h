@@ -5,12 +5,15 @@
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/table.h"
 #include "src/driver/experiment.h"
+#include "src/obs/trace.h"
 
 namespace ursa {
 
@@ -19,16 +22,64 @@ struct SchemeRun {
   ExperimentConfig config;
 };
 
+// Tracing options shared by the bench binaries; filled from the standard
+// --trace-out=FILE / --trace-sample=N / --trace-capacity=EVENTS flags.
+struct BenchTraceOptions {
+  std::string out;  // Chrome trace JSON path ("" = tracing off).
+  int sample = 1;
+  size_t capacity = size_t{1} << 20;
+  bool enabled() const { return !out.empty(); }
+};
+
+// Parses the trace flags out of a bench's argv. Returns false (after
+// printing usage) on any unrecognized argument.
+inline bool ParseBenchTraceFlags(int argc, char** argv, BenchTraceOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      opts->out = arg + 12;
+    } else if (std::strncmp(arg, "--trace-sample=", 15) == 0) {
+      opts->sample = std::atoi(arg + 15);
+    } else if (std::strncmp(arg, "--trace-capacity=", 17) == 0) {
+      opts->capacity = std::strtoull(arg + 17, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace-out=FILE] [--trace-sample=N] "
+                   "[--trace-capacity=EVENTS]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Per-scheme trace file name: inserts "-<scheme>" before the extension so a
+// multi-scheme bench writes one loadable trace per scheme.
+inline std::string TraceFileForScheme(const std::string& out, const std::string& scheme) {
+  const size_t dot = out.rfind('.');
+  if (dot == std::string::npos || out.find('/', dot) != std::string::npos) {
+    return out + "-" + scheme;
+  }
+  return out.substr(0, dot) + "-" + scheme + out.substr(dot);
+}
+
 // Runs every scheme over the workload and prints the Table 2/3/4-style
-// summary. Returns the results in scheme order.
+// summary. Returns the results in scheme order. With tracing enabled, each
+// scheme writes its own Chrome trace file and prints the tracer summary.
 inline std::vector<ExperimentResult> RunSchemes(const Workload& workload,
                                                 std::vector<SchemeRun> schemes,
                                                 const std::string& title,
-                                                double sample_step = 0.0) {
+                                                double sample_step = 0.0,
+                                                const BenchTraceOptions* trace = nullptr) {
   std::vector<ExperimentResult> results;
   Table table({"scheme", "makespan", "avgJCT", "UEcpu", "SEcpu", "UEmem", "SEmem"});
   for (SchemeRun& scheme : schemes) {
     scheme.config.sample_step = sample_step;
+    if (trace != nullptr && trace->enabled()) {
+      scheme.config.trace_out = TraceFileForScheme(trace->out, scheme.name);
+      scheme.config.trace_sample = trace->sample;
+      scheme.config.trace_capacity = trace->capacity;
+    }
     ExperimentResult result = RunExperiment(workload, scheme.config, scheme.name);
     table.Row()
         .Cell(scheme.name)
@@ -41,6 +92,11 @@ inline std::vector<ExperimentResult> RunSchemes(const Workload& workload,
     results.push_back(std::move(result));
   }
   table.Print(title);
+  for (const ExperimentResult& result : results) {
+    if (result.trace != nullptr) {
+      result.trace->PrintSummary(result.scheme);
+    }
+  }
   return results;
 }
 

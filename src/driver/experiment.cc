@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace ursa {
 
@@ -48,6 +49,18 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
   } else {
     exec_sched = std::make_unique<ExecutorModelScheduler>(&sim, &cluster, config.executor,
                                                           config.cm);
+  }
+
+  std::shared_ptr<Tracer> tracer;
+  if (config.trace || !config.trace_out.empty()) {
+    TracerConfig tc;
+    tc.capacity = config.trace_capacity;
+    tc.sample = config.trace_sample;
+    tracer = std::make_shared<Tracer>(tc);
+    cluster.set_tracer(tracer.get());
+    if (ursa_sched != nullptr) {
+      ursa_sched->set_tracer(tracer.get());
+    }
   }
 
   std::unique_ptr<FaultInjector> injector;
@@ -107,6 +120,10 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
     times.resize(result.records.size());
     result.straggler_ratio = MetricsCollector::StragglerTimeRatio(times, jcts);
   }
+  if (tracer != nullptr && !config.trace_out.empty()) {
+    tracer->WriteChromeTraceFile(config.trace_out);
+  }
+  result.trace = std::move(tracer);
   return result;
 }
 

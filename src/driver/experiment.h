@@ -11,6 +11,8 @@
 #ifndef SRC_DRIVER_EXPERIMENT_H_
 #define SRC_DRIVER_EXPERIMENT_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,8 @@
 #include "src/workloads/workload.h"
 
 namespace ursa {
+
+class Tracer;
 
 enum class SchedulerKind : int {
   kUrsa = 0,
@@ -42,6 +46,16 @@ struct ExperimentConfig {
   // Chaos plan injected during the run (Ursa scheduler only; the executor
   // model has no recovery path and ignores it with a warning).
   FaultPlan fault_plan;
+  // --- Tracing (src/obs, DESIGN.md section 8). ---
+  // Tracing activates when `trace` is true or `trace_out` is non-empty; the
+  // Tracer is returned in ExperimentResult and, when `trace_out` is set, the
+  // Chrome-trace JSON is written there after the run.
+  bool trace = false;
+  std::string trace_out;
+  // Trace every Nth monotask (1 = all); task/tick/fault events always trace.
+  int trace_sample = 1;
+  // Event ring capacity; the oldest events are dropped past this.
+  size_t trace_capacity = size_t{1} << 20;
 };
 
 struct ExperimentResult {
@@ -53,6 +67,8 @@ struct ExperimentResult {
   double straggler_ratio = 0.0;
   // Fault injection / detection / recovery counters (Ursa scheduler only).
   FaultStats faults;
+  // Non-null when tracing was enabled (config.trace / config.trace_out).
+  std::shared_ptr<Tracer> trace;
   double makespan() const { return efficiency.makespan; }
   double avg_jct() const { return efficiency.avg_jct; }
 };

@@ -43,6 +43,14 @@ class Cluster {
   int total_cores() const;
   double total_memory() const;
 
+  // Attaches an event tracer (src/obs) to every worker. Not owned; null
+  // detaches.
+  void set_tracer(Tracer* tracer) {
+    for (auto& w : workers_) {
+      w->set_tracer(tracer);
+    }
+  }
+
  private:
   Simulator* sim_;
   ClusterConfig config_;

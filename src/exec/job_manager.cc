@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace ursa {
 
@@ -47,6 +48,10 @@ void JobManager::MarkReady(TaskId t) {
   rt.usage = UsageEstimator::EstimateTask(*job_, t, cluster_->metadata(), 0.0);
   ready_unplaced_.push_back(t);
   ready_input_total_ += rt.usage.input_bytes;
+  if (tracer_ != nullptr) {
+    tracer_->TaskEvent(sim_->Now(), TraceEventKind::kTaskReady, job_->id, t,
+                       plan().task(t).stage, kInvalidId);
+  }
   listener_->OnTaskReady(job_->id, t);
 }
 
@@ -91,6 +96,10 @@ bool JobManager::PlaceTask(TaskId t, WorkerId worker_id) {
   rt.actual_memory = std::min(job_->spec.true_m2i * usage.input_bytes, usage.memory);
   rt.timing.place_time = sim_->Now();
   worker.AddActualMemoryUse(rt.actual_memory);
+  if (tracer_ != nullptr) {
+    tracer_->TaskEvent(sim_->Now(), TraceEventKind::kTaskPlaced, job_->id, t,
+                       plan().task(t).stage, worker_id);
+  }
   RemoveFromReady(t);
   // Stream the task's root monotasks into the worker's queues.
   for (MonotaskId m : plan().task(t).monotasks) {
@@ -141,9 +150,21 @@ void JobManager::SubmitMonotask(MonotaskId m) {
   // Callbacks carry the task's generation so completions or failures of an
   // execution that has since been invalidated (lineage reset, re-placement)
   // are ignored.
+  // The weak `alive` guard makes the callbacks safe even if this JM was
+  // destroyed (aborted and reclaimed) before a deferred callback fires.
   const int gen = trt.generation;
-  run.on_complete = [this, m, gen] { OnMonotaskComplete(m, gen); };
-  run.on_failure = [this, m, gen] { OnMonotaskFailed(m, gen); };
+  run.on_complete = [this, m, gen, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnMonotaskComplete(m, gen);
+  };
+  run.on_failure = [this, m, gen, alive = std::weak_ptr<const bool>(alive_)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnMonotaskFailed(m, gen);
+  };
   cluster_->worker(trt.worker).Submit(std::move(run));
 }
 
@@ -256,7 +277,12 @@ void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
     if (fault_stats_ != nullptr) {
       fault_stats_->RecordRetry(sim_->Now());
     }
-    sim_->Schedule(delay, [this, m, generation] { ResubmitMonotask(m, generation); });
+    sim_->Schedule(delay, [this, m, generation, alive = std::weak_ptr<const bool>(alive_)] {
+      if (alive.expired()) {
+        return;
+      }
+      ResubmitMonotask(m, generation);
+    });
   } else {
     if (fault_stats_ != nullptr) {
       ++fault_stats_->escalations;
@@ -479,6 +505,10 @@ void JobManager::CompleteTask(TaskId t) {
   CHECK(rt.state == TaskState::kPlaced);
   rt.state = TaskState::kCompleted;
   rt.timing.finish_time = sim_->Now();
+  if (tracer_ != nullptr) {
+    tracer_->TaskEvent(sim_->Now(), TraceEventKind::kTaskCompleted, job_->id, t,
+                       plan().task(t).stage, rt.worker);
+  }
   if (rt.recovering) {
     rt.recovering = false;
     CHECK_GT(recovering_outstanding_, 0);

@@ -14,6 +14,7 @@
 #define SRC_EXEC_JOB_MANAGER_H_
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include "src/dag/job.h"
@@ -22,6 +23,8 @@
 #include "src/fault/fault_stats.h"
 
 namespace ursa {
+
+class Tracer;
 
 // Callbacks from a job manager to the scheduling layer / driver.
 class JobManagerListener {
@@ -105,6 +108,9 @@ class JobManager {
   // returns false (and leaves the task ready) if the worker lacks memory.
   bool PlaceTask(TaskId task, WorkerId worker);
 
+  // Attaches an event tracer (src/obs) recording task milestones. Not owned.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // Job priority used for monotask queue ordering; set by the scheduler.
   double priority() const { return priority_; }
   void set_priority(double p) { priority_ = p; }
@@ -187,6 +193,13 @@ class JobManager {
   Cluster* cluster_;
   Job* job_;
   JobManagerListener* listener_;
+  Tracer* tracer_ = nullptr;
+
+  // Liveness token for callbacks that outlive this JM. Worker completion
+  // callbacks and retry-backoff events capture a weak_ptr to it; once the JM
+  // is destroyed (e.g. an aborted JM reclaimed after its job restarted) the
+  // token expires and late callbacks become no-ops instead of use-after-free.
+  std::shared_ptr<const bool> alive_ = std::make_shared<const bool>(true);
 
   std::vector<TaskRuntime> tasks_;
   std::vector<MonotaskRuntime> monotasks_;

@@ -44,6 +44,12 @@ struct RunnableMonotask {
   double job_priority = 0.0;
   double intra_key = 0.0;
 
+  // Tracing (src/obs): set by Worker::Submit. `queued_time` is when the
+  // monotask entered the worker; `trace_id` is the sampled trace key (0 when
+  // the monotask is not traced).
+  double queued_time = 0.0;
+  uint64_t trace_id = 0;
+
   // Fired on the simulator when the monotask finishes.
   std::function<void()> on_complete;
   // Fired instead of on_complete when the monotask fails: a transient

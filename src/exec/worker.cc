@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace ursa {
 
@@ -36,11 +37,19 @@ void Worker::Fail() {
   const double now = sim_->Now();
   failed_since_ = now;
   ++failure_epoch_;
-  // Drain the queues and zero occupancy; scheduled completion events for
-  // in-flight monotasks still fire but OnMonotaskDone suppresses them.
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(now, TraceEventKind::kWorkerFail, id_);
+  }
+  // Drain the queues and zero occupancy. Each drained monotask reports its
+  // loss (deferred, like the Submit-on-failed path) so job managers notice
+  // without depending on lineage recovery. In-flight completion events are
+  // cancelled by the failure-epoch guard in Execute()'s lambdas.
   for (auto& q : queues_) {
     while (!q.Empty()) {
-      q.Pop();
+      RunnableMonotask mt = q.Pop();
+      if (mt.on_failure) {
+        sim_->Schedule(0.0, std::move(mt.on_failure));
+      }
     }
   }
   cpu_busy_.Set(now, 0.0);
@@ -66,6 +75,9 @@ void Worker::Recover() {
     return;
   }
   failed_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kWorkerRecover, id_);
+  }
   // The machine comes back empty: queues and occupancy were cleared at
   // failure time; rate monitors restart from factory defaults, and any
   // straggler injection is gone with the old process.
@@ -122,6 +134,11 @@ void Worker::Submit(RunnableMonotask mt) {
       sim_->Schedule(0.0, std::move(mt.on_failure));
     }
     return;
+  }
+  mt.queued_time = sim_->Now();
+  if (tracer_ != nullptr) {
+    mt.trace_id =
+        tracer_->MonotaskQueued(mt.queued_time, mt.type, id_, mt.job, mt.id, mt.input_bytes);
   }
   // Latency-sensitive small network monotasks bypass the queue entirely and
   // do not consume a concurrency slot (section 4.2.3).
@@ -250,6 +267,19 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
   const ResourceType r = mt.type;
   running_bytes_[static_cast<size_t>(r)] += mt.input_bytes;
   const double input_bytes = mt.input_bytes;
+  const JobId job = mt.job;
+  const MonotaskId mid = mt.id;
+  const uint64_t trace_id = mt.trace_id;
+  if (tracer_ != nullptr) {
+    tracer_->MonotaskDispatched(now, trace_id, r, id_, job, mid, input_bytes,
+                                now - mt.queued_time, counted);
+  }
+  // Completion events scheduled below belong to this failure epoch. If the
+  // worker fails (and possibly recovers) before they fire, the events are
+  // stale: their occupancy was zeroed by Fail() and their result is lost, so
+  // the lambdas must discard them instead of decrementing the rejoined
+  // worker's fresh accounting and delivering stale callbacks.
+  const int epoch = failure_epoch_;
   std::function<void()> on_complete = std::move(mt.on_complete);
   std::function<void()> on_failure = std::move(mt.on_failure);
   switch (r) {
@@ -260,14 +290,19 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
       }
       const double duration =
           std::max(mt.work, 0.0) / (config_.cpu_byte_rate * speed_factor_);
-      sim_->Schedule(duration, [this, r, input_bytes, duration, counted,
-                                cb = std::move(on_complete),
+      sim_->Schedule(duration, [this, epoch, r, input_bytes, duration, counted, job, mid,
+                                trace_id, cb = std::move(on_complete),
                                 fb = std::move(on_failure)]() mutable {
+        if (failure_epoch_ != epoch || failed_) {
+          TraceLost(r, input_bytes, duration, counted, job, mid, trace_id);
+          return;
+        }
         if (counted) {
           AddCpuBusy(-1.0);
           AddCpuAllocated(-1.0);
         }
-        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb), std::move(fb));
+        OnMonotaskDone(r, input_bytes, duration, counted, job, mid, trace_id,
+                       std::move(cb), std::move(fb));
       });
       break;
     }
@@ -277,13 +312,18 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
       }
       const double duration =
           std::max(mt.work, 0.0) / (config_.disk_bytes_per_sec * speed_factor_);
-      sim_->Schedule(duration, [this, r, input_bytes, duration, counted,
-                                cb = std::move(on_complete),
+      sim_->Schedule(duration, [this, epoch, r, input_bytes, duration, counted, job, mid,
+                                trace_id, cb = std::move(on_complete),
                                 fb = std::move(on_failure)]() mutable {
+        if (failure_epoch_ != epoch || failed_) {
+          TraceLost(r, input_bytes, duration, counted, job, mid, trace_id);
+          return;
+        }
         if (counted) {
           AddDiskBusy(-1.0);
         }
-        OnMonotaskDone(r, input_bytes, duration, counted, std::move(cb), std::move(fb));
+        OnMonotaskDone(r, input_bytes, duration, counted, job, mid, trace_id,
+                       std::move(cb), std::move(fb));
       });
       break;
     }
@@ -293,10 +333,15 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
       // concurrent pulls are represented as one aggregate flow into this
       // worker; purely local gathers move at the local copy rate.
       const double start = now;
-      auto finish = [this, r, input_bytes, start, counted, cb = std::move(on_complete),
-                     fb = std::move(on_failure)]() mutable {
+      auto finish = [this, epoch, r, input_bytes, start, counted, job, mid, trace_id,
+                     cb = std::move(on_complete), fb = std::move(on_failure)]() mutable {
         const double elapsed = sim_->Now() - start;
-        OnMonotaskDone(r, input_bytes, elapsed, counted, std::move(cb), std::move(fb));
+        if (failure_epoch_ != epoch || failed_) {
+          TraceLost(r, input_bytes, elapsed, counted, job, mid, trace_id);
+          return;
+        }
+        OnMonotaskDone(r, input_bytes, elapsed, counted, job, mid, trace_id,
+                       std::move(cb), std::move(fb));
       };
       double remote_bytes = 0.0;
       double local_bytes = 0.0;
@@ -325,12 +370,18 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
   }
 }
 
+void Worker::TraceLost(ResourceType r, double input_bytes, double elapsed, bool counted,
+                       JobId job, MonotaskId monotask, uint64_t trace_id) {
+  if (tracer_ != nullptr) {
+    tracer_->MonotaskFinished(sim_->Now(), trace_id, TraceEventKind::kLost, r, id_, job,
+                              monotask, input_bytes, elapsed, counted);
+  }
+}
+
 void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
+                            JobId job, MonotaskId monotask, uint64_t trace_id,
                             std::function<void()> on_complete,
                             std::function<void()> on_failure) {
-  if (failed_) {
-    return;  // The result of an in-flight monotask on a failed worker is lost.
-  }
   running_bytes_[static_cast<size_t>(r)] -= input_bytes;
   running_bytes_[static_cast<size_t>(r)] =
       std::max(running_bytes_[static_cast<size_t>(r)], 0.0);
@@ -346,6 +397,12 @@ void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, 
     transient_fail = true;
   }
   RecordRate(r, input_bytes, elapsed);
+  if (tracer_ != nullptr) {
+    tracer_->MonotaskFinished(sim_->Now(), trace_id,
+                              transient_fail ? TraceEventKind::kFail
+                                             : TraceEventKind::kComplete,
+                              r, id_, job, monotask, input_bytes, elapsed, counted);
+  }
   if (transient_fail) {
     if (on_failure) {
       on_failure();

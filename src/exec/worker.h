@@ -25,6 +25,8 @@
 
 namespace ursa {
 
+class Tracer;
+
 struct WorkerConfig {
   int cores = 32;
   // Byte-equivalents of CPU work one core processes per second.
@@ -142,6 +144,21 @@ class Worker {
     return completed_[static_cast<size_t>(r)];
   }
 
+  // --- Tracing (src/obs). ---
+  // Attaches an event tracer (not owned; may be null). Every monotask
+  // lifecycle transition and fault event on this worker is recorded.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Current occupancy, for invariant checks in tests.
+  int busy_cores() const { return busy_cores_; }
+  int busy_disks() const { return busy_disks_; }
+  int active_network() const { return active_network_; }
+  double running_bytes(ResourceType r) const {
+    return running_bytes_[static_cast<size_t>(r)];
+  }
+  double cpu_busy_now() const { return cpu_busy_now_; }
+  double disk_busy_now() const { return disk_busy_now_; }
+
  private:
   struct RateMonitor {
     double rate = 0.0;          // Last computed rate (bytes/s per "lane").
@@ -160,7 +177,12 @@ class Worker {
   // Runs one monotask (resource already accounted by the caller).
   void Execute(RunnableMonotask mt, bool counted);
   void OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
+                      JobId job, MonotaskId monotask, uint64_t trace_id,
                       std::function<void()> on_complete, std::function<void()> on_failure);
+  // Records the loss of an in-flight monotask whose completion event fired
+  // after this worker failed (and possibly recovered: epoch mismatch).
+  void TraceLost(ResourceType r, double input_bytes, double elapsed, bool counted,
+                 JobId job, MonotaskId monotask, uint64_t trace_id);
   void RecordRate(ResourceType r, double bytes, double elapsed);
   void ScheduleHeartbeat();
   void ResetRateMonitors(double now);
@@ -169,6 +191,7 @@ class Worker {
   FlowSimulator* net_;
   WorkerId id_;
   WorkerConfig config_;
+  Tracer* tracer_ = nullptr;
 
   MonotaskQueue queues_[kNumMonotaskResources];
   bool failed_ = false;

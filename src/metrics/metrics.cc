@@ -85,10 +85,12 @@ MetricsCollector::UtilizationSeries MetricsCollector::Sample(const Cluster& clus
       series.net[i] += i < net.size() ? net[i] : 0.0;
     }
   }
+  // Guard the divides: an empty cluster (or one whose capacity config is
+  // degenerate) must yield 0% utilization, not NaNs.
   for (size_t i = 0; i < n; ++i) {
-    series.cpu[i] = 100.0 * series.cpu[i] / cpu_capacity;
-    series.mem[i] = 100.0 * series.mem[i] / mem_capacity;
-    series.net[i] = 100.0 * series.net[i] / net_capacity;
+    series.cpu[i] = cpu_capacity > 0.0 ? 100.0 * series.cpu[i] / cpu_capacity : 0.0;
+    series.mem[i] = mem_capacity > 0.0 ? 100.0 * series.mem[i] / mem_capacity : 0.0;
+    series.net[i] = net_capacity > 0.0 ? 100.0 * series.net[i] / net_capacity : 0.0;
   }
   return series;
 }

@@ -1,0 +1,166 @@
+// Monotask-level tracing & profiling (DESIGN.md section 8).
+//
+// The Tracer records, per monotask, the full lifecycle (queued -> dispatched
+// -> completed/failed/lost, with resource type, worker, job id, input bytes,
+// queue-wait and service durations), per-task scheduling milestones
+// (ready/placed/completed), scheduler-tick spans (candidates scored, tasks
+// placed, host wall-time per tick) and fault events (worker fail/recover,
+// detections, rejoins). Events land in a fixed-capacity ring buffer so the
+// overhead per event is one branch and one struct copy; when the ring wraps,
+// the oldest events are dropped and counted.
+//
+// Two consumers exist:
+//  * WriteChromeTrace exports the ring as Chrome `chrome://tracing` /
+//    Perfetto-loadable JSON (async "b"/"e" pairs per monotask keyed by a
+//    unique sequence id, instant events for everything else);
+//  * SummarizeMonotasks / PrintSummary reduce the ring to per-resource
+//    queue-wait and service-time histogram summaries for the text report.
+//
+// Sampling: with TracerConfig::sample = N > 1, every Nth monotask (decided
+// at queue time, sticky for the monotask's whole lifecycle so dispatch and
+// completion events always pair up) is traced; task/tick/fault events are
+// always recorded.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/dag/types.h"
+
+namespace ursa {
+
+enum class TraceEventKind : int8_t {
+  // Monotask lifecycle (carry a pairing `seq`; kDispatch opens a span that
+  // exactly one kComplete / kFail / kLost closes).
+  kQueued = 0,
+  kDispatch = 1,
+  kComplete = 2,
+  kFail = 3,   // Transient execution failure; resources were consumed.
+  kLost = 4,   // In-flight work discarded by a worker-failure epoch change.
+  // Task milestones (job manager).
+  kTaskReady = 5,
+  kTaskPlaced = 6,
+  kTaskCompleted = 7,
+  // Scheduler tick span.
+  kTick = 8,
+  // Fault path.
+  kWorkerFail = 9,
+  kWorkerRecover = 10,
+  kDetection = 11,
+  kRejoin = 12,
+};
+
+const char* TraceEventKindName(TraceEventKind kind);
+
+// One ring slot. Field meaning depends on `kind`:
+//   a: input bytes (monotask), candidates scored (tick), latency s (detection)
+//   b: queue wait s (dispatch), service s (finish), placed count (tick)
+struct TraceEvent {
+  double t = 0.0;  // Simulated seconds.
+  double a = 0.0;
+  double b = 0.0;
+  double wall_us = 0.0;          // Host wall-time of a tick (kTick only).
+  uint64_t seq = 0;              // Monotask pairing id; 0 for non-monotask events.
+  JobId job = kInvalidId;
+  TaskId task = kInvalidId;
+  MonotaskId monotask = kInvalidId;
+  StageId stage = kInvalidId;
+  WorkerId worker = kInvalidId;
+  TraceEventKind kind = TraceEventKind::kQueued;
+  int8_t resource = -1;          // ResourceType when >= 0.
+  bool counted = true;           // Monotask held a concurrency slot.
+};
+
+struct TracerConfig {
+  // Ring capacity in events; the oldest events are dropped past this.
+  size_t capacity = size_t{1} << 20;
+  // Trace every Nth monotask (1 = all). Decided at queue time, sticky.
+  int sample = 1;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TracerConfig& config = TracerConfig{});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // --- Recording (hot path). ---
+  // Returns the monotask's trace id, or 0 when sampled out; callers pass the
+  // id back on dispatch/finish so the whole lifecycle shares one key.
+  uint64_t MonotaskQueued(double now, ResourceType r, WorkerId w, JobId j,
+                          MonotaskId m, double bytes);
+  void MonotaskDispatched(double now, uint64_t id, ResourceType r, WorkerId w, JobId j,
+                          MonotaskId m, double bytes, double queue_wait, bool counted);
+  // `kind` is kComplete, kFail or kLost; `service` is the span duration.
+  void MonotaskFinished(double now, uint64_t id, TraceEventKind kind, ResourceType r,
+                        WorkerId w, JobId j, MonotaskId m, double bytes, double service,
+                        bool counted);
+  void TaskEvent(double now, TraceEventKind kind, JobId j, TaskId task, StageId stage,
+                 WorkerId w);
+  void SchedulerTick(double now, int64_t candidates, int64_t placed, double wall_us);
+  // kWorkerFail / kWorkerRecover / kDetection / kRejoin; `latency` is the
+  // detection latency in seconds for kDetection.
+  void WorkerEvent(double now, TraceEventKind kind, WorkerId w, double latency = 0.0);
+
+  // --- Introspection. ---
+  size_t size() const { return ring_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t monotasks_traced() const { return next_seq_; }
+  int sample() const { return config_.sample; }
+  // Ring contents, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // --- Export. ---
+  // Chrome trace JSON ({"traceEvents": [...]}) with events in time order.
+  void WriteChromeTrace(std::ostream& os) const;
+  // Returns false (and logs) when the file cannot be written.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  // --- Text report. ---
+  struct ResourceSummary {
+    int64_t queued = 0;
+    int64_t dispatches = 0;
+    int64_t completes = 0;
+    int64_t fails = 0;
+    int64_t lost = 0;
+    double busy_time = 0.0;  // Sum of counted service durations (seconds).
+    Summary queue_wait;      // Seconds.
+    Summary service;         // Seconds.
+  };
+  // Reduced over the events currently retained in the ring.
+  std::array<ResourceSummary, kNumMonotaskResources> SummarizeMonotasks() const;
+
+  struct TickSummary {
+    int64_t ticks = 0;
+    int64_t candidates = 0;
+    int64_t placed = 0;
+    double total_wall_us = 0.0;
+    double max_wall_us = 0.0;
+  };
+  // Aggregated over every tick of the run (not subject to ring eviction).
+  const TickSummary& tick_summary() const { return ticks_; }
+
+  // Prints the per-resource histogram summaries and tick aggregates.
+  void PrintSummary(const std::string& title) const;
+
+ private:
+  void Push(const TraceEvent& event);
+
+  TracerConfig config_;
+  std::vector<TraceEvent> ring_;
+  size_t next_slot_ = 0;     // Overwrite position once the ring is full.
+  uint64_t dropped_ = 0;
+  uint64_t next_seq_ = 0;    // Monotask trace ids handed out.
+  uint64_t sample_counter_ = 0;
+  TickSummary ticks_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_OBS_TRACE_H_

@@ -1,0 +1,335 @@
+#include "src/obs/trace_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ursa {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : object) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWhitespace();
+    if (!ParseValue(out)) {
+      if (error != nullptr) {
+        std::ostringstream oss;
+        oss << error_ << " at byte " << pos_;
+        *error = oss.str();
+      }
+      return false;
+    }
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing garbage at byte " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* message) {
+    error_ = message;
+    return false;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return ConsumeLiteral("true") || Fail("bad literal");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return ConsumeLiteral("false") || Fail("bad literal");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return ConsumeLiteral("null") || Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    Consume('{');
+    SkipWhitespace();
+    if (Consume('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    Consume('[');
+    SkipWhitespace();
+    if (Consume(']')) {
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) {
+        continue;
+      }
+      if (Consume(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          // Keep it simple: decode BMP code points as Latin-1 when they fit
+          // a byte, '?' otherwise; our writer never emits \u escapes.
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          const unsigned long cp = std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+          pos_ += 4;
+          out->push_back(cp <= 0xff ? static_cast<char>(cp) : '?');
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return Fail("bad number");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  const char* error_ = "parse error";
+};
+
+void FlattenEvent(const JsonValue& v, ChromeTraceEvent* out) {
+  for (const auto& [key, value] : v.object) {
+    if (key == "name" && value.type == JsonValue::Type::kString) {
+      out->name = value.str;
+    } else if (key == "cat" && value.type == JsonValue::Type::kString) {
+      out->cat = value.str;
+    } else if (key == "ph" && value.type == JsonValue::Type::kString) {
+      out->ph = value.str;
+    } else if (key == "ts" && value.type == JsonValue::Type::kNumber) {
+      out->ts = value.number;
+    } else if (key == "dur" && value.type == JsonValue::Type::kNumber) {
+      out->dur = value.number;
+    } else if (key == "pid" && value.type == JsonValue::Type::kNumber) {
+      out->pid = static_cast<int64_t>(value.number);
+    } else if (key == "tid" && value.type == JsonValue::Type::kNumber) {
+      out->tid = static_cast<int64_t>(value.number);
+    } else if (key == "id" && value.type == JsonValue::Type::kNumber) {
+      out->id = static_cast<uint64_t>(value.number);
+    } else if (key == "args" && value.type == JsonValue::Type::kObject) {
+      for (const auto& [ak, av] : value.object) {
+        if (av.type == JsonValue::Type::kNumber) {
+          out->args[ak] = av.number;
+        } else if (av.type == JsonValue::Type::kString) {
+          out->string_args[ak] = av.str;
+        } else if (av.type == JsonValue::Type::kBool) {
+          out->args[ak] = av.boolean ? 1.0 : 0.0;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return JsonParser(text).Parse(out, error);
+}
+
+bool ParseChromeTrace(const std::string& text, ChromeTrace* out, std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) {
+    return false;
+  }
+  const JsonValue* events = &root;
+  if (root.type == JsonValue::Type::kObject) {
+    events = root.Find("traceEvents");
+    if (events == nullptr) {
+      if (error != nullptr) {
+        *error = "no traceEvents key";
+      }
+      return false;
+    }
+  }
+  if (events->type != JsonValue::Type::kArray) {
+    if (error != nullptr) {
+      *error = "traceEvents is not an array";
+    }
+    return false;
+  }
+  out->events.clear();
+  out->events.reserve(events->array.size());
+  for (const JsonValue& v : events->array) {
+    if (v.type != JsonValue::Type::kObject) {
+      if (error != nullptr) {
+        *error = "trace event is not an object";
+      }
+      return false;
+    }
+    ChromeTraceEvent event;
+    FlattenEvent(v, &event);
+    out->events.push_back(std::move(event));
+  }
+  return true;
+}
+
+bool ReadChromeTraceFile(const std::string& path, ChromeTrace* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return false;
+  }
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return ParseChromeTrace(oss.str(), out, error);
+}
+
+}  // namespace ursa

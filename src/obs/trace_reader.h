@@ -1,0 +1,62 @@
+// Reader for the Chrome trace JSON produced by Tracer::WriteChromeTrace.
+//
+// Shared by tools/trace_summary and the trace-schema validation test so both
+// exercise the exact on-disk format. The parser is a small self-contained
+// JSON recursive-descent parser (objects, arrays, strings, numbers, bools,
+// null) — enough for any well-formed Chrome trace file, not just ours.
+#ifndef SRC_OBS_TRACE_READER_H_
+#define SRC_OBS_TRACE_READER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ursa {
+
+// A minimal JSON value tree.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses `text` into a JSON tree. Returns false and fills `error` (with a
+// byte offset) on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+// One event row of a Chrome trace, flattened to the fields the tooling needs.
+struct ChromeTraceEvent {
+  std::string name;
+  std::string cat;
+  std::string ph;        // "b", "e", "i", "M", "X", ...
+  double ts = 0.0;       // Microseconds.
+  double dur = 0.0;      // Microseconds ("X" events).
+  int64_t pid = 0;
+  int64_t tid = 0;
+  uint64_t id = 0;       // Async pairing id ("b"/"e" events).
+  // Scalar args, e.g. args["bytes"]; string args land in string_args.
+  std::map<std::string, double> args;
+  std::map<std::string, std::string> string_args;
+};
+
+struct ChromeTrace {
+  std::vector<ChromeTraceEvent> events;
+};
+
+// Parses a whole Chrome trace JSON document ({"traceEvents": [...]} or a
+// bare array). Returns false and fills `error` on malformed input.
+bool ParseChromeTrace(const std::string& text, ChromeTrace* out, std::string* error);
+
+// Convenience: reads and parses a trace file.
+bool ReadChromeTraceFile(const std::string& path, ChromeTrace* out, std::string* error);
+
+}  // namespace ursa
+
+#endif  // SRC_OBS_TRACE_READER_H_

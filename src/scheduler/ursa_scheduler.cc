@@ -1,10 +1,12 @@
 #include "src/scheduler/ursa_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 
 #include "src/common/logging.h"
+#include "src/obs/trace.h"
 
 namespace ursa {
 
@@ -81,6 +83,10 @@ int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
   handled_epoch_[static_cast<size_t>(worker_id)] = worker.failure_epoch();
   const double now = sim_->Now();
   fault_stats_.RecordDetection(now, std::max(0.0, now - worker.failed_since()));
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(now, TraceEventKind::kDetection, worker_id,
+                         std::max(0.0, now - worker.failed_since()));
+  }
   // Drop the worker's metadata before recovery so the lineage pass sees
   // exactly which outputs are gone. Safe: any task that could read a dropped
   // partition is reset by the lineage fixpoint and only becomes ready again
@@ -115,6 +121,9 @@ int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
 
 void UrsaScheduler::OnWorkerRejoined(WorkerId worker_id) {
   fault_stats_.RecordRejoin(sim_->Now());
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kRejoin, worker_id);
+  }
   // The worker re-registered empty; the next tick may place tasks on it.
   placement_dirty_ = true;
   EnsureTickScheduled();
@@ -122,6 +131,7 @@ void UrsaScheduler::OnWorkerRejoined(WorkerId worker_id) {
 
 void UrsaScheduler::StartJobManager(JobEntry& entry) {
   entry.jm = std::make_unique<JobManager>(sim_, cluster_, entry.job.get(), this);
+  entry.jm->set_tracer(tracer_);
   entry.jm->set_use_intra_ordering(config_.enable_monotask_ordering);
   // EJF queue priority: admission (submission) order. SRJF ranks are
   // refreshed every tick.
@@ -166,6 +176,14 @@ void UrsaScheduler::OnJobFinished(JobId job_id) {
   JobRecord& record = records_[static_cast<size_t>(job_id)];
   record.finish_time = sim_->Now();
   record.cpu_seconds = entry.jm->cpu_seconds_used();
+  // Reclaim job managers aborted by earlier restarts of this job: the job is
+  // done, so nothing resubmits through them, and any still-deferred callbacks
+  // they handed out are disarmed by their liveness tokens.
+  aborted_jms_.erase(std::remove_if(aborted_jms_.begin(), aborted_jms_.end(),
+                                    [job_id](const std::unique_ptr<JobManager>& jm) {
+                                      return jm->job_id() == job_id;
+                                    }),
+                     aborted_jms_.end());
   TryAdmitJobs();
 }
 
@@ -184,9 +202,16 @@ void UrsaScheduler::EnsureTickScheduled() {
 
 void UrsaScheduler::Tick() {
   tick_scheduled_ = false;
+  const auto wall_start = std::chrono::steady_clock::now();
   TryAdmitJobs();
   RefreshPriorities();
-  RunPlacement();
+  const PlacementStats stats = RunPlacement();
+  if (tracer_ != nullptr) {
+    const double wall_us = std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+    tracer_->SchedulerTick(sim_->Now(), stats.candidates, stats.placed, wall_us);
+  }
   if (active_jobs_ > 0 || !waiting_admission_.empty()) {
     EnsureTickScheduled();
   }
@@ -433,9 +458,10 @@ UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(const JobEntry& entry, StageI
   return plan;
 }
 
-void UrsaScheduler::RunPackingPlacement() {
+UrsaScheduler::PlacementStats UrsaScheduler::RunPackingPlacement() {
   // Tetris / Tetris2 / Capacity (section 5.1.2): jobs in policy order,
   // stages FIFO, each task reserved at its peak demand until completion.
+  PlacementStats stats;
   bool placed_any = true;
   while (placed_any) {
     placed_any = false;
@@ -445,6 +471,7 @@ void UrsaScheduler::RunPackingPlacement() {
       }
       // Copy: PlaceTask mutates the ready list.
       const std::vector<TaskId> ready = entry->jm->ready_tasks();
+      stats.candidates += static_cast<int64_t>(ready.size());
       for (TaskId t : ready) {
         const TaskUsage usage = entry->jm->GetUsage(t);
         const WorkerId w = packing_->SelectWorker(usage);
@@ -453,18 +480,20 @@ void UrsaScheduler::RunPackingPlacement() {
         }
         if (entry->jm->PlaceTask(t, w)) {
           packing_->Reserve(entry->job->id, t, w, usage);
+          ++stats.placed;
           placed_any = true;
         }
       }
     }
   }
+  return stats;
 }
 
-void UrsaScheduler::RunPlacement() {
+UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
   if (packing_ != nullptr) {
-    RunPackingPlacement();
-    return;
+    return RunPackingPlacement();
   }
+  PlacementStats stats;
   const double ept = config_.scheduling_interval * config_.ept_slack;
   std::vector<WorkerLoad> master = SnapshotLoads();
 
@@ -504,8 +533,11 @@ void UrsaScheduler::RunPlacement() {
       break;
     }
   }
+  for (const Candidate& c : candidates) {
+    stats.candidates += static_cast<int64_t>(c.tasks.size());
+  }
   if (candidates.empty()) {
-    return;
+    return stats;
   }
 
   // Score all candidates against the tick-start snapshot, then commit in
@@ -539,9 +571,11 @@ void UrsaScheduler::RunPlacement() {
       }
       if (c.entry->jm->PlaceTask(t, w)) {
         ApplyToLoad(usage, ept, &master[static_cast<size_t>(w)]);
+        ++stats.placed;
       }
     }
   }
+  return stats;
 }
 
 }  // namespace ursa

@@ -101,6 +101,15 @@ class UrsaScheduler : public JobManagerListener {
   const std::vector<JobRecord>& job_records() const { return records_; }
   const JobManager* job_manager(JobId id) const;
 
+  // Attaches an event tracer (src/obs) recording tick spans and fault
+  // events; propagated to every job manager started afterwards. Not owned.
+  // Call before submitting jobs.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Aborted job managers still held for in-flight callbacks; they are
+  // reclaimed when their job finishes, so this is bounded by active jobs.
+  size_t aborted_jms_retained() const { return aborted_jms_.size(); }
+
  private:
   struct JobEntry {
     std::unique_ptr<Job> job;
@@ -114,8 +123,13 @@ class UrsaScheduler : public JobManagerListener {
   void Tick();
   void TryAdmitJobs();
   void RefreshPriorities();
-  void RunPlacement();
-  void RunPackingPlacement();
+  // Placement volume of one tick, for the tick trace events.
+  struct PlacementStats {
+    int64_t candidates = 0;  // Ready tasks scored against the cluster.
+    int64_t placed = 0;      // Tasks committed to workers.
+  };
+  PlacementStats RunPlacement();
+  PlacementStats RunPackingPlacement();
 
   // Recovery entry point shared by FailWorker() and the heartbeat detector.
   // Handles each worker-failure epoch exactly once; returns affected jobs.
@@ -161,10 +175,12 @@ class UrsaScheduler : public JobManagerListener {
   Simulator* sim_;
   Cluster* cluster_;
   UrsaSchedulerConfig config_;
+  Tracer* tracer_ = nullptr;
 
   std::vector<std::unique_ptr<JobEntry>> jobs_;  // Indexed by JobId.
-  // Aborted job managers are kept alive until shutdown: in-flight monotasks
-  // on healthy workers still hold callbacks into them (all no-ops).
+  // Job managers aborted by full restarts: in-flight monotasks on healthy
+  // workers still hold callbacks into them (all no-ops thanks to their
+  // liveness tokens). Reclaimed when the owning job finishes.
   std::vector<std::unique_ptr<JobManager>> aborted_jms_;
   std::vector<JobId> waiting_admission_;         // Policy-ordered on use.
   std::vector<JobRecord> records_;

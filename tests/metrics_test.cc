@@ -1,6 +1,8 @@
 // Tests for the SE/UE/makespan/straggler metrics (section 5 definitions).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/metrics/metrics.h"
 
 namespace ursa {
@@ -55,6 +57,32 @@ TEST_F(MetricsTest, SampleNormalizesByCapacity) {
   ASSERT_EQ(series.cpu.size(), 4u);
   // 10 of 20 cluster cores busy = 50%.
   EXPECT_NEAR(series.cpu[0], 50.0, 1e-9);
+}
+
+TEST_F(MetricsTest, SampleGuardsDegenerateCapacity) {
+  // A cluster whose network capacity has been overridden to zero (e.g. a
+  // heterogeneous-cluster experiment that disables some links) must sample to
+  // 0% utilization, not divide by zero into NaNs.
+  for (int w = 0; w < cluster_->size(); ++w) {
+    cluster_->net().SetNodeBandwidth(w, /*uplink_bytes_per_sec=*/1e9,
+                                     /*downlink_bytes_per_sec=*/0.0);
+  }
+  cluster_->worker(0).AddCpuBusy(10.0);
+  sim_.Schedule(4.0, [] {});
+  sim_.Run();
+  const auto series = MetricsCollector::Sample(*cluster_, 0.0, 4.0, 1.0);
+  ASSERT_EQ(series.net.size(), 4u);
+  for (size_t i = 0; i < series.net.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(series.net[i])) << "net[" << i << "]";
+    EXPECT_DOUBLE_EQ(series.net[i], 0.0);
+    EXPECT_TRUE(std::isfinite(series.cpu[i]));
+    EXPECT_TRUE(std::isfinite(series.mem[i]));
+  }
+  EXPECT_NEAR(series.cpu[0], 50.0, 1e-9);  // CPU sampling unaffected.
+
+  // The degenerate t1 <= t0 window returns empty series, not a crash.
+  const auto empty = MetricsCollector::Sample(*cluster_, 4.0, 4.0, 1.0);
+  EXPECT_TRUE(empty.cpu.empty());
 }
 
 TEST(StragglerRatio, ZeroWithoutOutliers) {

@@ -7,6 +7,8 @@
 //              tetris | tetris2 | capacity
 // Options:     --jobs=N --interval=SEC --seed=N --workers=N --gbps=G
 //              --subscription=R (executor schemes) --series=STEP
+// Tracing:     --trace (record + summary only) --trace-out=FILE (Chrome
+//              trace JSON) --trace-sample=N --trace-capacity=EVENTS
 // Chaos:       --fault-crashes=N --fault-recovers=N --fault-transients=N
 //              --fault-degrades=N --fault-seed=N --fault-horizon=SEC
 //              --detect-timeout=SEC --heartbeat=SEC --no-lineage
@@ -23,6 +25,7 @@
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/driver/experiment.h"
+#include "src/obs/trace.h"
 #include "src/workloads/mixed.h"
 #include "src/workloads/synthetic.h"
 #include "src/workloads/tpcds.h"
@@ -40,6 +43,10 @@ struct Flags {
   double gbps = 10.0;
   double subscription = 1.0;
   double series = 0.0;
+  bool trace = false;  // Record without exporting (summary only).
+  std::string trace_out;
+  int trace_sample = 1;
+  size_t trace_capacity = size_t{1} << 20;
   // Chaos fault injection (Ursa schemes only).
   int fault_crashes = 0;
   int fault_recovers = 0;
@@ -69,6 +76,8 @@ int Usage() {
                "capacity]\n"
                "                [--jobs=N] [--interval=SEC] [--seed=N] [--workers=N]\n"
                "                [--gbps=G] [--subscription=R] [--series=STEP]\n"
+               "                [--trace] [--trace-out=FILE] [--trace-sample=N]\n"
+               "                [--trace-capacity=EVENTS]\n"
                "                [--fault-crashes=N] [--fault-recovers=N]\n"
                "                [--fault-transients=N] [--fault-degrades=N]\n"
                "                [--fault-seed=N] [--fault-horizon=SEC]\n"
@@ -102,6 +111,14 @@ int main(int argc, char** argv) {
       flags.subscription = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "series", &value)) {
       flags.series = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      flags.trace = true;
+    } else if (ParseFlag(argv[i], "trace-out", &value)) {
+      flags.trace_out = value;
+    } else if (ParseFlag(argv[i], "trace-sample", &value)) {
+      flags.trace_sample = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "trace-capacity", &value)) {
+      flags.trace_capacity = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "fault-crashes", &value)) {
       flags.fault_crashes = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "fault-recovers", &value)) {
@@ -180,6 +197,10 @@ int main(int argc, char** argv) {
   config.cluster.downlink_bytes_per_sec = GbpsToBytesPerSec(flags.gbps);
   config.cm.cpu_subscription_ratio = flags.subscription;
   config.sample_step = flags.series;
+  config.trace = flags.trace;
+  config.trace_out = flags.trace_out;
+  config.trace_sample = flags.trace_sample;
+  config.trace_capacity = flags.trace_capacity;
 
   // Fault-tolerance knobs and the chaos plan.
   config.ursa.fault.detector.heartbeat_interval = flags.heartbeat;
@@ -216,6 +237,12 @@ int main(int argc, char** argv) {
       .Cell(result.straggler_ratio, 2);
   table.Print(flags.workload + " on " + std::to_string(flags.workers) + " workers");
   MetricsCollector::PrintFaultReport(result.faults, flags.scheduler);
+  if (result.trace != nullptr) {
+    result.trace->PrintSummary(flags.scheduler);
+    if (!flags.trace_out.empty()) {
+      std::printf("trace written to %s\n", flags.trace_out.c_str());
+    }
+  }
 
   if (flags.series > 0.0) {
     PrintSeriesCsv(flags.scheduler, result.series.t0, result.series.step, result.series.cpu,
