@@ -12,13 +12,24 @@
 // recovery mode, and how many tasks lineage recovery re-executed compared
 // with the full restarts it avoided (expected well under 50%).
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "src/fault/fault_injector.h"
 #include "src/workloads/tpch.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ursa;
+  uint64_t fault_seed = 9;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      fault_seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: bench_fault_recovery [--seed=N]\n");
+      return 2;
+    }
+  }
   TpchWorkloadConfig wc;
   wc.num_jobs = 60;
   wc.submit_interval = 5.0;
@@ -26,7 +37,7 @@ int main() {
   const Workload workload = MakeTpchWorkload(wc);
 
   FaultPlanConfig pc;
-  pc.seed = 9;
+  pc.seed = fault_seed;
   pc.num_workers = 20;
   pc.horizon_start = 10.0;
   pc.horizon_end = 250.0;

@@ -93,6 +93,11 @@ inline std::vector<ExperimentResult> RunSchemes(const Workload& workload,
   }
   table.Print(title);
   for (const ExperimentResult& result : results) {
+    // No-op for fault-free runs; otherwise includes recovery work and the
+    // speculation outcome/wasted-work tables.
+    MetricsCollector::PrintFaultReport(result.faults, result.scheme);
+  }
+  for (const ExperimentResult& result : results) {
     if (result.trace != nullptr) {
       result.trace->PrintSummary(result.scheme);
     }

@@ -86,29 +86,41 @@ std::vector<OutputRecord> UsageEstimator::ComputeOutputs(const Job& job, Monotas
 std::vector<RunnableMonotask::Pull> UsageEstimator::ResolvePulls(const Job& job,
                                                                  MonotaskId mt_id,
                                                                  const MetadataStore& meta) {
+  return ResolvePulls(job, mt_id, meta, nullptr, kInvalidId);
+}
+
+std::vector<RunnableMonotask::Pull> UsageEstimator::ResolvePulls(
+    const Job& job, MonotaskId mt_id, const MetadataStore& meta,
+    const std::vector<OutputRecord>* local, WorkerId local_worker) {
   const ExecutionPlan& plan = job.plan;
   const MonotaskSpec& mt = plan.monotask(mt_id);
   const CollapsedOp& cop = plan.cop(mt.cop);
   CHECK(cop.type == ResourceType::kNetwork);
   std::unordered_map<WorkerId, double> per_source;
+  auto add_partition = [&](DataId d, int partition, double weight) {
+    const double local_bytes = LookupLocal(local, d, partition);
+    if (local_bytes >= 0.0) {
+      per_source[local_worker] += local_bytes * weight;
+      return;
+    }
+    const PartitionInfo& info = meta.Get(job.id, d, partition);
+    per_source[info.worker] += info.bytes * weight;
+  };
   for (size_t r = 0; r < cop.reads.size(); ++r) {
     const DataId d = cop.reads[r];
     switch (cop.read_modes[r]) {
       case ReadMode::kExternal:
         LOG(Fatal) << "network op " << cop.name << " reads external data";
         break;
-      case ReadMode::kOnePartition: {
-        const PartitionInfo& info = meta.Get(job.id, d, mt.index);
-        per_source[info.worker] += info.bytes;
+      case ReadMode::kOnePartition:
+        add_partition(d, mt.index, 1.0);
         break;
-      }
       case ReadMode::kGatherSlices: {
         const int partitions = plan.dataset_partitions(d);
         const double weight =
             cop.slice_weights[static_cast<size_t>(mt.index)] / cop.parallelism;
         for (int p = 0; p < partitions; ++p) {
-          const PartitionInfo& info = meta.Get(job.id, d, p);
-          per_source[info.worker] += info.bytes * weight;
+          add_partition(d, p, weight);
         }
         break;
       }

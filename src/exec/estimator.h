@@ -56,6 +56,13 @@ class UsageEstimator {
   static std::vector<RunnableMonotask::Pull> ResolvePulls(const Job& job, MonotaskId mt,
                                                           const MetadataStore& meta);
 
+  // As above, but partitions found in `local` (outputs buffered by a
+  // speculative copy running on `local_worker`) are pulled from there instead
+  // of from the location the metadata store records for the primary.
+  static std::vector<RunnableMonotask::Pull> ResolvePulls(
+      const Job& job, MonotaskId mt, const MetadataStore& meta,
+      const std::vector<OutputRecord>* local, WorkerId local_worker);
+
   // Full task usage estimate. `ready_input_total` is the total input bytes
   // of the job's currently-ready tasks (for the r * M(j) memory cap).
   static TaskUsage EstimateTask(const Job& job, TaskId task, const MetadataStore& meta,

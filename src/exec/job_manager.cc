@@ -8,6 +8,22 @@
 
 namespace ursa {
 
+namespace {
+
+// Position of monotask `m` within its task's monotask list (copy state is
+// indexed positionally). Task DAGs are small, so a linear scan is fine.
+int IndexInTask(const TaskSpec& task, MonotaskId m) {
+  for (size_t i = 0; i < task.monotasks.size(); ++i) {
+    if (task.monotasks[i] == m) {
+      return static_cast<int>(i);
+    }
+  }
+  LOG(Fatal) << "monotask " << m << " not in task " << task.id;
+  return -1;
+}
+
+}  // namespace
+
 JobManager::JobManager(Simulator* sim, Cluster* cluster, Job* job, JobManagerListener* listener)
     : sim_(sim), cluster_(cluster), job_(job), listener_(listener) {
   tasks_.resize(plan().tasks().size());
@@ -95,6 +111,8 @@ bool JobManager::PlaceTask(TaskId t, WorkerId worker_id) {
   rt.allocated_memory = usage.memory;
   rt.actual_memory = std::min(job_->spec.true_m2i * usage.input_bytes, usage.memory);
   rt.timing.place_time = sim_->Now();
+  // Fresh cancel token per placement: flipped if a speculative copy wins.
+  rt.cancel = spec_manager_ != nullptr ? std::make_shared<CancelToken>() : nullptr;
   worker.AddActualMemoryUse(rt.actual_memory);
   if (tracer_ != nullptr) {
     tracer_->TaskEvent(sim_->Now(), TraceEventKind::kTaskPlaced, job_->id, t,
@@ -124,6 +142,7 @@ void JobManager::SubmitMonotask(MonotaskId m) {
   run.id = m;
   run.type = mt.type;
   run.job_priority = priority_;
+  run.cancel = trt.cancel;
   const double input =
       UsageEstimator::MonotaskInputBytes(*job_, m, cluster_->metadata(), nullptr);
   mrt.input_bytes = input;
@@ -173,6 +192,9 @@ void JobManager::Abort() {
   aborted_ = true;
   for (const TaskSpec& task : plan().tasks()) {
     TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.spec != nullptr) {
+      CancelSpeculativeCopy(task.id, SpecEnd::kCancelled);
+    }
     if (rt.state == TaskState::kPlaced) {
       Worker& worker = cluster_->worker(rt.worker);
       worker.ReleaseMemory(rt.allocated_memory);
@@ -259,9 +281,23 @@ void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
   const Worker& worker = cluster_->worker(trt.worker);
   if (worker.failed()) {
     // The worker died under us (submission dropped or the scheduler has not
-    // recovered yet): retrying there is pointless, re-place immediately.
+    // recovered yet): retrying there is pointless.
     if (fault_stats_ != nullptr) {
       ++fault_stats_->worker_loss_failures;
+    }
+    if (trt.spec != nullptr) {
+      // A live speculative copy keeps the task going: hand it the race
+      // instead of resetting. (HandleWorkerFailureForSpeculation usually
+      // sets this first; a dropped submission's deferred failure can win.)
+      // The dead worker's memory ledger was wiped at Fail(); drop the stale
+      // claim so a later reset or abort cannot release it against the
+      // worker after a rejoin.
+      trt.primary_lost = true;
+      trt.allocated_memory = 0.0;
+      trt.actual_memory = 0.0;
+      return;
+    }
+    if (fault_stats_ != nullptr) {
       ++fault_stats_->escalations;
     }
     ResetTaskForReplacement(mt.task);
@@ -306,6 +342,15 @@ void JobManager::ResubmitMonotask(MonotaskId m, int generation) {
 void JobManager::ResetTaskRuntime(TaskId t) {
   const TaskSpec& spec = plan().task(t);
   TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  if (rt.spec != nullptr) {
+    // A reset invalidates the race along with the primary execution.
+    CancelSpeculativeCopy(t, SpecEnd::kCancelled);
+  }
+  // The old primary's monotasks are invalidated by the generation bump (as
+  // before speculation existed); the token is abandoned, not flipped, so
+  // resets do not inflate the speculation waste counters.
+  rt.cancel.reset();
+  rt.primary_lost = false;
   ++rt.generation;
   rt.worker = kInvalidId;
   rt.allocated_memory = 0.0;
@@ -346,6 +391,9 @@ JobManager::RecoveryResult JobManager::RecoverFromWorkerFailure(WorkerId failed)
   if (aborted_ || finished()) {
     return result;
   }
+  // Idempotent: the scheduler may already have done this (it must when
+  // lineage recovery is disabled), but seeding below relies on it.
+  HandleWorkerFailureForSpeculation(failed);
   const size_t n = tasks_.size();
   for (size_t i = 0; i < n; ++i) {
     if (tasks_[i].state == TaskState::kPlaced || tasks_[i].state == TaskState::kCompleted) {
@@ -364,7 +412,13 @@ JobManager::RecoveryResult JobManager::RecoverFromWorkerFailure(WorkerId failed)
   std::vector<char> reset(n, 0);
   for (size_t i = 0; i < n; ++i) {
     const TaskRuntime& rt = tasks_[i];
-    if (rt.state == TaskState::kPlaced && rt.worker == failed) {
+    // A placement on the dead worker with a live copy elsewhere is NOT lost:
+    // HandleWorkerFailureForSpeculation marked it primary_lost and the copy
+    // races on alone. Conversely a primary_lost task whose copy just died
+    // (cancelled above by the same failure episode) has no runner left and
+    // must be reset.
+    if (rt.state == TaskState::kPlaced && rt.spec == nullptr &&
+        (rt.worker == failed || rt.primary_lost)) {
       reset[i] = 1;
     }
   }
@@ -503,6 +557,16 @@ JobManager::RecoveryResult JobManager::RecoverFromWorkerFailure(WorkerId failed)
 void JobManager::CompleteTask(TaskId t) {
   TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
   CHECK(rt.state == TaskState::kPlaced);
+  if (rt.spec != nullptr) {
+    // The primary finished every monotask first: the copy loses the race.
+    CancelSpeculativeCopy(t, SpecEnd::kLost);
+  }
+  if (spec_manager_ != nullptr && rt.timing.place_time >= 0.0) {
+    // Feed the straggler detector. Speculatively-won tasks still measure
+    // from the primary's placement: the duration the stage actually paid.
+    stage_durations_[static_cast<size_t>(plan().task(t).stage)].Add(
+        sim_->Now() - rt.timing.place_time);
+  }
   rt.state = TaskState::kCompleted;
   rt.timing.finish_time = sim_->Now();
   if (tracer_ != nullptr) {
@@ -559,6 +623,358 @@ void JobManager::CompleteTask(TaskId t) {
     cluster_->metadata().DropJob(job_->id);
     listener_->OnJobFinished(job_->id);
   }
+}
+
+// --- Speculative execution (DESIGN.md section 9). ---
+
+void JobManager::ConfigureSpeculation(SpeculationManager* manager) {
+  spec_manager_ = manager;
+  stage_durations_.assign(plan().stages().size(), RobustSample());
+}
+
+int JobManager::CountPlacedTasks() const {
+  int placed = 0;
+  for (const TaskRuntime& rt : tasks_) {
+    placed += rt.state == TaskState::kPlaced ? 1 : 0;
+  }
+  return placed;
+}
+
+void JobManager::CollectStragglerCandidates(double now,
+                                            std::vector<StragglerCandidate>* out) const {
+  if (spec_manager_ == nullptr || aborted_ || finished()) {
+    return;
+  }
+  const SpeculationConfig& cfg = spec_manager_->config();
+  for (const TaskSpec& task : plan().tasks()) {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.state != TaskState::kPlaced || rt.spec != nullptr || rt.primary_lost) {
+      continue;
+    }
+    if (rt.worker == kInvalidId || cluster_->worker(rt.worker).failed()) {
+      continue;  // Lineage recovery owns this one.
+    }
+    const double elapsed = now - rt.timing.place_time;
+    if (!IsStraggler(cfg, stage_durations_[static_cast<size_t>(task.stage)], elapsed)) {
+      continue;
+    }
+    StragglerCandidate cand;
+    cand.job = job_->id;
+    cand.task = task.id;
+    cand.stage = task.stage;
+    cand.worker = rt.worker;
+    cand.elapsed = elapsed;
+    double total = 0.0;
+    for (size_t r = 0; r < kNumMonotaskResources; ++r) {
+      cand.bytes[r] = rt.usage.bytes[r];
+      total += rt.usage.bytes[r];
+    }
+    double done = 0.0;
+    for (MonotaskId m : task.monotasks) {
+      const MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+      if (mrt.done) {
+        done += mrt.input_bytes;
+      }
+    }
+    cand.memory = rt.allocated_memory;
+    cand.estimated_time_to_finish =
+        EstimatedTimeToFinish(elapsed, total > 0.0 ? done / total : 0.0);
+    out->push_back(cand);
+  }
+}
+
+bool JobManager::PlaceSpeculative(TaskId t, WorkerId worker_id) {
+  CHECK(spec_manager_ != nullptr);
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  if (rt.state != TaskState::kPlaced || rt.spec != nullptr || rt.primary_lost ||
+      worker_id == rt.worker) {
+    return false;
+  }
+  Worker& worker = cluster_->worker(worker_id);
+  if (worker.failed() || !worker.TryAllocateMemory(rt.allocated_memory)) {
+    return false;
+  }
+  const TaskSpec& spec = plan().task(t);
+  auto copy = std::make_unique<SpecCopy>();
+  copy->worker = worker_id;
+  copy->start_time = sim_->Now();
+  copy->allocated_memory = rt.allocated_memory;
+  copy->actual_memory = rt.actual_memory;
+  worker.AddActualMemoryUse(copy->actual_memory);
+  const size_t n = spec.monotasks.size();
+  copy->remaining_monotasks = static_cast<int>(n);
+  copy->remaining_deps.resize(n);
+  copy->submitted.assign(n, 0);
+  copy->done.assign(n, 0);
+  copy->input_bytes.assign(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    copy->remaining_deps[i] =
+        static_cast<int>(plan().monotask(spec.monotasks[i]).intask_deps.size());
+  }
+  rt.spec = std::move(copy);
+  spec_manager_->OnLaunched();
+  if (tracer_ != nullptr) {
+    tracer_->TaskEvent(sim_->Now(), TraceEventKind::kSpecLaunched, job_->id, t,
+                       spec.stage, worker_id);
+  }
+  // Completion events are scheduled, never synchronous, so this loop cannot
+  // re-enter the copy's state.
+  for (size_t i = 0; i < n; ++i) {
+    if (rt.spec->remaining_deps[i] == 0) {
+      SubmitSpecMonotask(t, static_cast<int>(i));
+    }
+  }
+  return true;
+}
+
+void JobManager::SubmitSpecMonotask(TaskId t, int idx) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  SpecCopy& copy = *rt.spec;
+  CHECK(!copy.submitted[static_cast<size_t>(idx)]);
+  copy.submitted[static_cast<size_t>(idx)] = 1;
+  const TaskSpec& spec = plan().task(t);
+  const MonotaskId m = spec.monotasks[static_cast<size_t>(idx)];
+  const MonotaskSpec& mt = plan().monotask(m);
+  const CollapsedOp& cop = plan().cop(mt.cop);
+
+  RunnableMonotask run;
+  run.job = job_->id;
+  run.id = m;
+  run.type = mt.type;
+  run.job_priority = priority_;
+  run.cancel = copy.cancel;
+  // Inputs produced inside the copy come from its local buffer; everything
+  // from outside the task is already committed metadata (parents completed).
+  const double input =
+      UsageEstimator::MonotaskInputBytes(*job_, m, cluster_->metadata(), &copy.outputs);
+  copy.input_bytes[static_cast<size_t>(idx)] = input;
+  run.input_bytes = input;
+  switch (mt.type) {
+    case ResourceType::kCpu:
+      run.work = cop.cost.fixed_cpu_work + input * cop.cost.cpu_complexity;
+      break;
+    case ResourceType::kDisk:
+      run.work = input;
+      break;
+    case ResourceType::kNetwork:
+      run.pulls = UsageEstimator::ResolvePulls(*job_, m, cluster_->metadata(),
+                                               &copy.outputs, copy.worker);
+      break;
+  }
+  if (use_intra_ordering_) {
+    const double stage_major = static_cast<double>(spec.stage) * 1e15;
+    run.intra_key = stage_major + (mt.type == ResourceType::kCpu ? -input : input);
+  } else {
+    run.intra_key = 0.0;
+  }
+  // The copy's liveness token replaces generation bookkeeping: deciding the
+  // race (either way) destroys the copy and disarms every pending callback.
+  run.on_complete = [this, t, idx, alive = std::weak_ptr<const bool>(copy.alive)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnSpecMonotaskComplete(t, idx);
+  };
+  run.on_failure = [this, t, idx, alive = std::weak_ptr<const bool>(copy.alive)] {
+    if (alive.expired()) {
+      return;
+    }
+    OnSpecMonotaskFailed(t, idx);
+  };
+  cluster_->worker(copy.worker).Submit(std::move(run));
+}
+
+void JobManager::OnSpecMonotaskComplete(TaskId t, int idx) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.spec != nullptr);
+  SpecCopy& copy = *rt.spec;
+  copy.done[static_cast<size_t>(idx)] = 1;
+  const TaskSpec& spec = plan().task(t);
+  const MonotaskId m = spec.monotasks[static_cast<size_t>(idx)];
+  const MonotaskSpec& mt = plan().monotask(m);
+  // Buffer outputs locally; they reach the metadata store only on a win.
+  for (OutputRecord& rec : UsageEstimator::ComputeOutputs(
+           *job_, m, copy.input_bytes[static_cast<size_t>(idx)])) {
+    copy.outputs.push_back(rec);
+  }
+  for (MonotaskId dep : mt.intask_dependents) {
+    const int didx = IndexInTask(spec, dep);
+    CHECK_GT(copy.remaining_deps[static_cast<size_t>(didx)], 0);
+    if (--copy.remaining_deps[static_cast<size_t>(didx)] == 0) {
+      SubmitSpecMonotask(t, didx);
+    }
+  }
+  CHECK_GT(copy.remaining_monotasks, 0);
+  if (--copy.remaining_monotasks == 0) {
+    OnSpecWin(t);
+  }
+}
+
+void JobManager::OnSpecMonotaskFailed(TaskId t, int idx) {
+  (void)idx;
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.spec != nullptr);
+  const bool solo = rt.primary_lost;
+  // Copies get no retries: speculation is best-effort and the straggler
+  // detector can always launch a new copy later.
+  CancelSpeculativeCopy(t, SpecEnd::kCancelled);
+  if (solo) {
+    // The copy was the only live execution (primary's worker died): escalate
+    // like a worker loss so the task is re-placed from scratch.
+    if (fault_stats_ != nullptr) {
+      ++fault_stats_->escalations;
+    }
+    ResetTaskForReplacement(t);
+  }
+}
+
+void JobManager::OnSpecWin(TaskId t) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  const std::unique_ptr<SpecCopy> copy = std::move(rt.spec);
+  const TaskSpec& spec = plan().task(t);
+  const double now = sim_->Now();
+  if (tracer_ != nullptr) {
+    tracer_->TaskEvent(now, TraceEventKind::kSpecWon, job_->id, t, spec.stage,
+                       copy->worker);
+  }
+  // 1. Cancel the primary execution: queued monotasks are dequeued before
+  // they charge anything; in-flight ones are disarmed and their elapsed busy
+  // time flows into the waste counters through the worker's waste sink.
+  if (rt.cancel != nullptr) {
+    rt.cancel->cancelled = true;
+  }
+  const bool primary_alive =
+      !rt.primary_lost && rt.worker != kInvalidId && !cluster_->worker(rt.worker).failed();
+  if (primary_alive) {
+    Worker& pworker = cluster_->worker(rt.worker);
+    pworker.SweepCancelled();
+    pworker.ReleaseMemory(rt.allocated_memory);
+    pworker.AddActualMemoryUse(-rt.actual_memory);
+  }
+  // 2. Monotasks the primary had already finished are duplicate work now.
+  for (MonotaskId m : spec.monotasks) {
+    const MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+    if (mrt.done) {
+      spec_manager_->RecordWaste(now, plan().monotask(m).type, mrt.input_bytes,
+                                 EstimateWasteSeconds(m, mrt.input_bytes));
+    }
+  }
+  // 3. Commit the copy's buffered outputs at its worker. This overwrites the
+  // primary's partial Puts, so lineage tracks the surviving replica. No
+  // consumer has read the primary's entries: downstream tasks only read
+  // after this task completes.
+  for (const OutputRecord& rec : copy->outputs) {
+    cluster_->metadata().Put(job_->id, rec.data, rec.partition, rec.bytes, copy->worker);
+  }
+  // 4. Catch up per-monotask accounting for work the primary never finished,
+  // so a later lineage reset of this task round-trips correctly.
+  for (size_t i = 0; i < spec.monotasks.size(); ++i) {
+    const MonotaskId m = spec.monotasks[i];
+    MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+    if (mrt.done) {
+      continue;
+    }
+    mrt.done = true;
+    mrt.submitted = true;
+    mrt.attempts = 0;
+    mrt.input_bytes = copy->input_bytes[i];
+    const MonotaskSpec& mt = plan().monotask(m);
+    auto& remaining = remaining_work_[static_cast<size_t>(mt.type)];
+    remaining = std::max(remaining - mrt.input_bytes, 0.0);
+    if (mt.type == ResourceType::kCpu) {
+      const CollapsedOp& cop = plan().cop(mt.cop);
+      cpu_seconds_used_ +=
+          (cop.cost.fixed_cpu_work + mrt.input_bytes * cop.cost.cpu_complexity) /
+          cluster_->config().worker.cpu_byte_rate;
+    }
+    listener_->OnMonotaskCompleted(job_->id, mt.type, mrt.input_bytes);
+  }
+  rt.remaining_monotasks = 0;
+  // 5. The copy's worker inherits the task; CompleteTask releases the copy's
+  // memory there and records completion against it.
+  rt.worker = copy->worker;
+  rt.allocated_memory = copy->allocated_memory;
+  rt.actual_memory = copy->actual_memory;
+  rt.primary_lost = false;
+  spec_manager_->OnWon();
+  CompleteTask(t);
+}
+
+void JobManager::CancelSpeculativeCopy(TaskId t, SpecEnd reason) {
+  TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+  CHECK(rt.spec != nullptr);
+  const std::unique_ptr<SpecCopy> copy = std::move(rt.spec);
+  const TaskSpec& spec = plan().task(t);
+  const double now = sim_->Now();
+  copy->cancel->cancelled = true;
+  Worker& worker = cluster_->worker(copy->worker);
+  if (!worker.failed()) {
+    // Dequeue the copy's queued monotasks and disarm in-flight ones (their
+    // busy time reaches the waste counters via the worker's waste sink).
+    worker.SweepCancelled();
+    worker.ReleaseMemory(copy->allocated_memory);
+    worker.AddActualMemoryUse(-copy->actual_memory);
+  }
+  // Monotasks the copy finished are pure duplicate work.
+  for (size_t i = 0; i < spec.monotasks.size(); ++i) {
+    if (!copy->done[i]) {
+      continue;
+    }
+    const MonotaskId m = spec.monotasks[i];
+    spec_manager_->RecordWaste(now, plan().monotask(m).type, copy->input_bytes[i],
+                               EstimateWasteSeconds(m, copy->input_bytes[i]));
+  }
+  if (reason == SpecEnd::kLost) {
+    spec_manager_->OnLost();
+  } else {
+    spec_manager_->OnCancelled();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->TaskEvent(now,
+                       reason == SpecEnd::kLost ? TraceEventKind::kSpecLost
+                                                : TraceEventKind::kSpecCancelled,
+                       job_->id, t, spec.stage, copy->worker);
+  }
+}
+
+void JobManager::HandleWorkerFailureForSpeculation(WorkerId worker) {
+  if (spec_manager_ == nullptr || aborted_ || finished()) {
+    return;
+  }
+  for (const TaskSpec& task : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.spec != nullptr && rt.spec->worker == worker) {
+      // Copies die with their worker; the primary (or lineage) carries on.
+      CancelSpeculativeCopy(task.id, SpecEnd::kCancelled);
+    }
+    if (rt.state == TaskState::kPlaced && rt.worker == worker && rt.spec != nullptr) {
+      // A live copy elsewhere survives the primary's death: the race becomes
+      // a solo run and the task must not be treated as lost. The dead
+      // worker's memory ledger was wiped at Fail(); drop the stale claim so
+      // a later reset or abort cannot release it against the worker after a
+      // rejoin.
+      rt.primary_lost = true;
+      rt.allocated_memory = 0.0;
+      rt.actual_memory = 0.0;
+    }
+  }
+}
+
+double JobManager::EstimateWasteSeconds(MonotaskId m, double input_bytes) const {
+  const MonotaskSpec& mt = plan().monotask(m);
+  const WorkerConfig& wc = cluster_->config().worker;
+  switch (mt.type) {
+    case ResourceType::kCpu: {
+      const CollapsedOp& cop = plan().cop(mt.cop);
+      return (cop.cost.fixed_cpu_work + input_bytes * cop.cost.cpu_complexity) /
+             wc.cpu_byte_rate;
+    }
+    case ResourceType::kDisk:
+      return input_bytes / wc.disk_bytes_per_sec;
+    case ResourceType::kNetwork:
+      return wc.default_net_rate > 0.0 ? input_bytes / wc.default_net_rate : 0.0;
+  }
+  return 0.0;
 }
 
 }  // namespace ursa

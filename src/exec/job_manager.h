@@ -21,6 +21,7 @@
 #include "src/exec/cluster.h"
 #include "src/exec/estimator.h"
 #include "src/fault/fault_stats.h"
+#include "src/spec/speculation.h"
 
 namespace ursa {
 
@@ -94,6 +95,43 @@ class JobManager {
     return tasks_[static_cast<size_t>(t)].avoid_worker;
   }
 
+  // --- Speculative execution (DESIGN.md section 9). ---
+  // Enables straggler detection and speculative copies. `manager` (owned by
+  // the scheduler, shared by all jobs) enforces the global budget and
+  // receives all speculation accounting. Must outlive this JM.
+  void ConfigureSpeculation(SpeculationManager* manager);
+
+  // Appends this job's placed tasks that look like stragglers (elapsed time
+  // beyond the robust stage threshold) to `out`. The caller ranks them and
+  // decides, under the budget, which get a copy.
+  void CollectStragglerCandidates(double now, std::vector<StragglerCandidate>* out) const;
+
+  // Launches a speculative copy of placed task `t` on `worker`. The copy
+  // runs the task's full monotask DAG there, buffering its outputs locally;
+  // whichever execution finishes all monotasks first wins and the loser is
+  // cancelled. Returns false when `worker` is the primary's worker, failed,
+  // or lacks memory — or the task already has a copy.
+  bool PlaceSpeculative(TaskId t, WorkerId worker);
+
+  // Tears down speculative state touched by a failure of `worker`: copies
+  // running there are cancelled; a primary lost there hands the task over to
+  // its surviving copy. Called by the scheduler for every worker failure
+  // (with or without lineage recovery) before RecoverFromWorkerFailure.
+  void HandleWorkerFailureForSpeculation(WorkerId worker);
+
+  // Placed-but-unfinished tasks (the speculation budget's denominator).
+  int CountPlacedTasks() const;
+
+  // Test/inspection hooks.
+  bool has_speculative_copy(TaskId t) const {
+    return tasks_[static_cast<size_t>(t)].spec != nullptr;
+  }
+  WorkerId speculative_worker(TaskId t) const {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
+    return rt.spec != nullptr ? rt.spec->worker : kInvalidId;
+  }
+  bool primary_lost(TaskId t) const { return tasks_[static_cast<size_t>(t)].primary_lost; }
+
   Job& job() { return *job_; }
   const Job& job() const { return *job_; }
   JobId job_id() const { return job_->id; }
@@ -144,6 +182,31 @@ class JobManager {
   }
 
  private:
+  // Runtime state of one live speculative copy. The copy re-runs the task's
+  // whole monotask DAG on another worker; per-monotask state is indexed by
+  // position in TaskSpec::monotasks. Outputs stay buffered in `outputs`
+  // until the copy wins (then they are committed to the metadata store at
+  // the copy's worker, making lineage point at the surviving replica); a
+  // losing copy's buffer is simply dropped.
+  struct SpecCopy {
+    WorkerId worker = kInvalidId;
+    double start_time = 0.0;
+    double allocated_memory = 0.0;
+    double actual_memory = 0.0;
+    int remaining_monotasks = 0;
+    // Flipped to cancel the copy's queued / in-flight monotasks.
+    std::shared_ptr<CancelToken> cancel = std::make_shared<CancelToken>();
+    // Liveness token for the copy's callbacks: destroying the copy (race
+    // decided, worker failure, lineage reset) disarms them, so no generation
+    // bookkeeping is needed on this side.
+    std::shared_ptr<const bool> alive = std::make_shared<const bool>(true);
+    std::vector<OutputRecord> outputs;
+    std::vector<int> remaining_deps;
+    std::vector<char> submitted;
+    std::vector<char> done;
+    std::vector<double> input_bytes;
+  };
+
   struct TaskRuntime {
     TaskState state = TaskState::kBlocked;
     int remaining_async_parents = 0;
@@ -162,6 +225,15 @@ class JobManager {
     WorkerId avoid_worker = kInvalidId;
     // Task is re-executing due to lineage recovery (for recovery latency).
     bool recovering = false;
+    // Live speculative copy, if any.
+    std::unique_ptr<SpecCopy> spec;
+    // Cancellation token shared by the primary execution's monotasks
+    // (created at placement when speculation is enabled); flipped when the
+    // copy wins the race.
+    std::shared_ptr<CancelToken> cancel;
+    // The primary's worker died while a copy was live: the copy is the only
+    // runner left, and a failure on it escalates to a full task reset.
+    bool primary_lost = false;
   };
   struct MonotaskRuntime {
     int remaining_deps = 0;
@@ -188,6 +260,22 @@ class JobManager {
   void ResetTaskRuntime(TaskId t);
   void CompleteTask(TaskId t);
   void RemoveFromReady(TaskId t);
+
+  // Speculation internals (DESIGN.md section 9).
+  void SubmitSpecMonotask(TaskId t, int idx);
+  void OnSpecMonotaskComplete(TaskId t, int idx);
+  void OnSpecMonotaskFailed(TaskId t, int idx);
+  // The copy finished every monotask first: cancel the primary execution,
+  // commit the buffered outputs and complete the task from the copy's
+  // worker.
+  void OnSpecWin(TaskId t);
+  enum class SpecEnd { kLost, kCancelled };
+  // Tears down the live copy: flips its cancel token, sweeps its worker,
+  // releases its memory and records its completed monotasks as wasted work.
+  void CancelSpeculativeCopy(TaskId t, SpecEnd reason);
+  // Approximate service time a monotask of `input_bytes` costs, for wasted-
+  // work accounting of duplicates that ran to completion.
+  double EstimateWasteSeconds(MonotaskId m, double input_bytes) const;
 
   Simulator* sim_;
   Cluster* cluster_;
@@ -221,6 +309,11 @@ class JobManager {
   FaultStats* fault_stats_ = nullptr;
   int recovering_outstanding_ = 0;
   double recovery_start_ = -1.0;
+
+  // Speculation (null/empty when disabled).
+  SpeculationManager* spec_manager_ = nullptr;
+  // Completed task durations per stage, feeding the straggler threshold.
+  std::vector<RobustSample> stage_durations_;
 };
 
 }  // namespace ursa

@@ -29,6 +29,23 @@ RunnableMonotask MonotaskQueue::Pop() {
   return mt;
 }
 
+size_t MonotaskQueue::RemoveCancelled() {
+  size_t removed = 0;
+  for (auto it = order_.begin(); it != order_.end();) {
+    RunnableMonotask& mt = slots_[it->seq];
+    if (mt.cancel != nullptr && mt.cancel->cancelled) {
+      queued_bytes_ -= mt.input_bytes;
+      free_slots_.push_back(it->seq);
+      mt = RunnableMonotask{};  // Drop callbacks and pull lists eagerly.
+      it = order_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
 void MonotaskQueue::Reprioritize(const std::function<double(JobId)>& priority_of) {
   std::set<Entry> rebuilt;
   for (const Entry& entry : order_) {

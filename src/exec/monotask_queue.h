@@ -13,12 +13,24 @@
 #define SRC_EXEC_MONOTASK_QUEUE_H_
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "src/dag/types.h"
 
 namespace ursa {
+
+// Cooperative cancellation handle (DESIGN.md section 9). The job manager
+// keeps the mutable end and flips `cancelled` when a speculative race is
+// decided; every RunnableMonotask of the losing copy shares the const end.
+// A cancelled monotask must never deliver its callbacks: queued copies are
+// dequeued by Worker::SweepCancelled before their resources are charged,
+// in-flight copies are disarmed and their elapsed busy time is recorded as
+// wasted work.
+struct CancelToken {
+  bool cancelled = false;
+};
 
 // A fully-resolved monotask handed to a worker for execution. The job
 // manager resolves sizes and source locations before enqueueing, so the
@@ -43,6 +55,10 @@ struct RunnableMonotask {
   // Ordering keys (smaller runs first).
   double job_priority = 0.0;
   double intra_key = 0.0;
+
+  // Cancellation token shared by every monotask of one task copy; null for
+  // non-cancellable work.
+  std::shared_ptr<const CancelToken> cancel;
 
   // Tracing (src/obs): set by Worker::Submit. `queued_time` is when the
   // monotask entered the worker; `trace_id` is the sampled trace key (0 when
@@ -69,6 +85,11 @@ class MonotaskQueue {
   // Re-sorts after job priorities changed (SRJF re-ranking). `priority_of`
   // maps a job id to its current priority.
   void Reprioritize(const std::function<double(JobId)>& priority_of);
+
+  // Drops every queued monotask whose cancel token fired, without invoking
+  // callbacks (cancellation means nobody is waiting for the result). Returns
+  // the number removed.
+  size_t RemoveCancelled();
 
   // Total queued input bytes (for APT load reporting).
   double queued_bytes() const { return queued_bytes_; }

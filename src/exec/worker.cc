@@ -42,16 +42,30 @@ void Worker::Fail() {
   }
   // Drain the queues and zero occupancy. Each drained monotask reports its
   // loss (deferred, like the Submit-on-failed path) so job managers notice
-  // without depending on lineage recovery. In-flight completion events are
-  // cancelled by the failure-epoch guard in Execute()'s lambdas.
+  // without depending on lineage recovery. In-flight network completion
+  // events are cancelled by the failure-epoch guard in Execute()'s lambdas;
+  // registered CPU/disk monotasks are dropped here (their completion events
+  // find no registry entry and no-op).
   for (auto& q : queues_) {
     while (!q.Empty()) {
       RunnableMonotask mt = q.Pop();
+      if (mt.cancel != nullptr && mt.cancel->cancelled) {
+        continue;  // Cancelled work has no listener to notify.
+      }
       if (mt.on_failure) {
         sim_->Schedule(0.0, std::move(mt.on_failure));
       }
     }
   }
+  // In-flight CPU/disk monotasks are discarded silently, exactly like the
+  // pre-registry epoch guard did: the owning task is re-placed by lineage
+  // recovery, not by per-monotask failure callbacks.
+  for (auto& [key, fl] : inflight_) {
+    sim_->Cancel(fl.event);
+    TraceLost(fl.type, fl.input_bytes, now - fl.start, fl.counted, fl.job, fl.id,
+              fl.trace_id);
+  }
+  inflight_.clear();
   cpu_busy_.Set(now, 0.0);
   cpu_alloc_.Set(now, 0.0);
   disk_busy_.Set(now, 0.0);
@@ -123,10 +137,39 @@ void Worker::SetTransientFailureProfile(double p, uint64_t seed) {
 void Worker::set_speed_factor(double factor) {
   CHECK_GT(factor, 0.0);
   CHECK_LE(factor, 1.0);
+  if (factor == speed_factor_) {
+    return;
+  }
   speed_factor_ = factor;
+  if (failed_) {
+    return;
+  }
+  // Apply to in-flight monotasks: bank the work done at the old rate and
+  // reschedule the remainder at the new one. Without this, completion events
+  // scheduled at dispatch time would ignore the change and a short
+  // degraded-rate window could silently do nothing.
+  const double now = sim_->Now();
+  for (auto& [key, fl] : inflight_) {
+    fl.done_work = DoneWork(fl, now);
+    sim_->Cancel(fl.event);
+    fl.rate = (fl.type == ResourceType::kCpu ? config_.cpu_byte_rate
+                                             : config_.disk_bytes_per_sec) *
+              speed_factor_;
+    fl.resumed = now;
+    const double remaining = std::max(0.0, fl.work - fl.done_work);
+    const uint64_t k = key;
+    fl.event = sim_->Schedule(remaining / fl.rate, [this, k] { FinishInFlight(k); });
+  }
+}
+
+double Worker::DoneWork(const InFlight& fl, double now) {
+  return std::min(fl.work, fl.done_work + (now - fl.resumed) * fl.rate);
 }
 
 void Worker::Submit(RunnableMonotask mt) {
+  if (mt.cancel != nullptr && mt.cancel->cancelled) {
+    return;  // Cancelled before submission; nobody is waiting.
+  }
   if (failed_) {
     // Never strand the caller: report the loss so the job manager can
     // re-place the task instead of waiting forever (section 4.3).
@@ -257,8 +300,12 @@ void Worker::PumpQueue(ResourceType r) {
     if (*counter >= limit || queue(r).Empty()) {
       return;
     }
+    RunnableMonotask mt = queue(r).Pop();
+    if (mt.cancel != nullptr && mt.cancel->cancelled) {
+      continue;  // Cancelled while queued; its resources were never charged.
+    }
     ++*counter;
-    Execute(queue(r).Pop(), /*counted=*/true);
+    Execute(std::move(mt), /*counted=*/true);
   }
 }
 
@@ -277,54 +324,43 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
   // Completion events scheduled below belong to this failure epoch. If the
   // worker fails (and possibly recovers) before they fire, the events are
   // stale: their occupancy was zeroed by Fail() and their result is lost, so
-  // the lambdas must discard them instead of decrementing the rejoined
-  // worker's fresh accounting and delivering stale callbacks.
+  // they must be discarded instead of decrementing the rejoined worker's
+  // fresh accounting and delivering stale callbacks. CPU/disk monotasks are
+  // guarded by their registry entry (Fail() clears it); network lambdas keep
+  // the explicit epoch check.
   const int epoch = failure_epoch_;
   std::function<void()> on_complete = std::move(mt.on_complete);
   std::function<void()> on_failure = std::move(mt.on_failure);
   switch (r) {
-    case ResourceType::kCpu: {
-      if (counted) {
-        AddCpuBusy(1.0);
-        AddCpuAllocated(1.0);
-      }
-      const double duration =
-          std::max(mt.work, 0.0) / (config_.cpu_byte_rate * speed_factor_);
-      sim_->Schedule(duration, [this, epoch, r, input_bytes, duration, counted, job, mid,
-                                trace_id, cb = std::move(on_complete),
-                                fb = std::move(on_failure)]() mutable {
-        if (failure_epoch_ != epoch || failed_) {
-          TraceLost(r, input_bytes, duration, counted, job, mid, trace_id);
-          return;
-        }
-        if (counted) {
-          AddCpuBusy(-1.0);
-          AddCpuAllocated(-1.0);
-        }
-        OnMonotaskDone(r, input_bytes, duration, counted, job, mid, trace_id,
-                       std::move(cb), std::move(fb));
-      });
-      break;
-    }
+    case ResourceType::kCpu:
     case ResourceType::kDisk: {
       if (counted) {
-        AddDiskBusy(1.0);
+        if (r == ResourceType::kCpu) {
+          AddCpuBusy(1.0);
+          AddCpuAllocated(1.0);
+        } else {
+          AddDiskBusy(1.0);
+        }
       }
-      const double duration =
-          std::max(mt.work, 0.0) / (config_.disk_bytes_per_sec * speed_factor_);
-      sim_->Schedule(duration, [this, epoch, r, input_bytes, duration, counted, job, mid,
-                                trace_id, cb = std::move(on_complete),
-                                fb = std::move(on_failure)]() mutable {
-        if (failure_epoch_ != epoch || failed_) {
-          TraceLost(r, input_bytes, duration, counted, job, mid, trace_id);
-          return;
-        }
-        if (counted) {
-          AddDiskBusy(-1.0);
-        }
-        OnMonotaskDone(r, input_bytes, duration, counted, job, mid, trace_id,
-                       std::move(cb), std::move(fb));
-      });
+      InFlight fl;
+      fl.type = r;
+      fl.input_bytes = input_bytes;
+      fl.work = std::max(mt.work, 0.0);
+      fl.start = now;
+      fl.resumed = now;
+      fl.rate = (r == ResourceType::kCpu ? config_.cpu_byte_rate
+                                         : config_.disk_bytes_per_sec) *
+                speed_factor_;
+      fl.counted = counted;
+      fl.job = job;
+      fl.id = mid;
+      fl.trace_id = trace_id;
+      fl.cancel = std::move(mt.cancel);
+      fl.on_complete = std::move(on_complete);
+      fl.on_failure = std::move(on_failure);
+      const uint64_t key = next_inflight_key_++;
+      fl.event = sim_->Schedule(fl.work / fl.rate, [this, key] { FinishInFlight(key); });
+      inflight_.emplace(key, std::move(fl));
       break;
     }
     case ResourceType::kNetwork: {
@@ -334,10 +370,18 @@ void Worker::Execute(RunnableMonotask mt, bool counted) {
       // worker; purely local gathers move at the local copy rate.
       const double start = now;
       auto finish = [this, epoch, r, input_bytes, start, counted, job, mid, trace_id,
-                     cb = std::move(on_complete), fb = std::move(on_failure)]() mutable {
+                     cancel = std::move(mt.cancel), cb = std::move(on_complete),
+                     fb = std::move(on_failure)]() mutable {
         const double elapsed = sim_->Now() - start;
         if (failure_epoch_ != epoch || failed_) {
           TraceLost(r, input_bytes, elapsed, counted, job, mid, trace_id);
+          return;
+        }
+        if (cancel != nullptr && cancel->cancelled) {
+          // A flow cannot be retracted mid-transfer, so a cancelled network
+          // monotask is disarmed here: the whole transfer is wasted work.
+          DiscardCancelled(r, input_bytes, elapsed, counted, job, mid, trace_id,
+                           input_bytes);
           return;
         }
         OnMonotaskDone(r, input_bytes, elapsed, counted, job, mid, trace_id,
@@ -375,6 +419,95 @@ void Worker::TraceLost(ResourceType r, double input_bytes, double elapsed, bool 
   if (tracer_ != nullptr) {
     tracer_->MonotaskFinished(sim_->Now(), trace_id, TraceEventKind::kLost, r, id_, job,
                               monotask, input_bytes, elapsed, counted);
+  }
+}
+
+void Worker::FinishInFlight(uint64_t key) {
+  const auto it = inflight_.find(key);
+  if (it == inflight_.end()) {
+    return;  // Lost to a failure epoch or disarmed by SweepCancelled.
+  }
+  InFlight fl = std::move(it->second);
+  inflight_.erase(it);
+  const double now = sim_->Now();
+  const double elapsed = now - fl.start;
+  if (fl.counted) {
+    if (fl.type == ResourceType::kCpu) {
+      AddCpuBusy(-1.0);
+      AddCpuAllocated(-1.0);
+    } else {
+      AddDiskBusy(-1.0);
+    }
+  }
+  if (fl.cancel != nullptr && fl.cancel->cancelled) {
+    // Cancelled after the last (re)schedule but never swept: the work ran to
+    // completion, all of it wasted.
+    DiscardCancelled(fl.type, fl.input_bytes, elapsed, fl.counted, fl.job, fl.id,
+                     fl.trace_id, fl.input_bytes);
+    return;
+  }
+  OnMonotaskDone(fl.type, fl.input_bytes, elapsed, fl.counted, fl.job, fl.id, fl.trace_id,
+                 std::move(fl.on_complete), std::move(fl.on_failure));
+}
+
+void Worker::SweepCancelled() {
+  if (failed_) {
+    return;  // Fail() already cleared queues, registry and occupancy.
+  }
+  for (auto& q : queues_) {
+    q.RemoveCancelled();
+  }
+  const double now = sim_->Now();
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    InFlight& fl = it->second;
+    if (fl.cancel == nullptr || !fl.cancel->cancelled) {
+      ++it;
+      continue;
+    }
+    sim_->Cancel(fl.event);
+    InFlight dead = std::move(fl);
+    it = inflight_.erase(it);
+    if (dead.counted) {
+      if (dead.type == ResourceType::kCpu) {
+        AddCpuBusy(-1.0);
+        AddCpuAllocated(-1.0);
+      } else {
+        AddDiskBusy(-1.0);
+      }
+    }
+    const double done = DoneWork(dead, now);
+    const double fraction = dead.work > 0.0 ? done / dead.work : 1.0;
+    DiscardCancelled(dead.type, dead.input_bytes, now - dead.start, dead.counted, dead.job,
+                     dead.id, dead.trace_id, fraction * dead.input_bytes);
+  }
+}
+
+void Worker::DiscardCancelled(ResourceType r, double input_bytes, double elapsed,
+                              bool counted, JobId job, MonotaskId monotask,
+                              uint64_t trace_id, double done_bytes) {
+  running_bytes_[static_cast<size_t>(r)] -= input_bytes;
+  running_bytes_[static_cast<size_t>(r)] =
+      std::max(running_bytes_[static_cast<size_t>(r)], 0.0);
+  if (tracer_ != nullptr) {
+    tracer_->MonotaskFinished(sim_->Now(), trace_id, TraceEventKind::kCancelled, r, id_,
+                              job, monotask, input_bytes, elapsed, counted);
+  }
+  if (waste_sink_) {
+    waste_sink_(r, done_bytes, elapsed);
+  }
+  if (counted) {
+    switch (r) {
+      case ResourceType::kCpu:
+        --busy_cores_;
+        break;
+      case ResourceType::kNetwork:
+        --active_network_;
+        break;
+      case ResourceType::kDisk:
+        --busy_disks_;
+        break;
+    }
+    PumpQueue(r);
   }
 }
 

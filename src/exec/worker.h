@@ -15,6 +15,8 @@
 #define SRC_EXEC_WORKER_H_
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -100,9 +102,25 @@ class Worker {
   // drawn from a deterministic per-worker stream seeded with `seed`.
   void SetTransientFailureProfile(double p, uint64_t seed);
   // Degraded-rate (straggler) mode: CPU and disk monotasks run at `factor`
-  // times normal speed (0 < factor <= 1 slows the worker down).
+  // times normal speed (0 < factor <= 1 slows the worker down). The change
+  // also applies to in-flight monotasks: work done so far is banked at the
+  // old rate and the remainder is rescheduled at the new one, so short
+  // injection windows slow (or speed up) work that was already dispatched.
   void set_speed_factor(double factor);
   double speed_factor() const { return speed_factor_; }
+
+  // --- Cooperative cancellation (speculation, DESIGN.md section 9). ---
+  // Dequeues queued monotasks whose cancel token fired (their resources were
+  // never charged) and disarms cancelled in-flight CPU/disk monotasks: the
+  // completion event is cancelled, the concurrency slot is freed immediately
+  // and the elapsed busy time is reported as wasted work. In-flight network
+  // monotasks cannot be retracted from the flow simulator; they are disarmed
+  // when their flow completes.
+  void SweepCancelled();
+  // Sink for the wasted work of cancelled monotasks: bytes actually
+  // processed by the losing copy and the seconds it occupied the resource.
+  using WasteSink = std::function<void(ResourceType, double bytes, double seconds)>;
+  void set_waste_sink(WasteSink sink) { waste_sink_ = std::move(sink); }
 
   // --- Memory accounting (task granularity). ---
   bool TryAllocateMemory(double bytes);
@@ -167,6 +185,31 @@ class Worker {
     double acc_time = 0.0;
   };
 
+  // A dispatched CPU or disk monotask awaiting its completion event. Keeping
+  // the remaining work and effective rate here lets set_speed_factor
+  // reschedule mid-flight and lets SweepCancelled disarm a losing copy
+  // promptly. Network monotasks are not registered: their finish time is
+  // owned by the FlowSimulator. Keys are never reused, so a completion event
+  // that outlives its entry (failure epoch, cancellation) finds nothing and
+  // is a no-op.
+  struct InFlight {
+    ResourceType type = ResourceType::kCpu;
+    double input_bytes = 0.0;
+    double work = 0.0;       // Total work bytes.
+    double done_work = 0.0;  // Work banked before the last (re)schedule.
+    double start = 0.0;      // Dispatch time.
+    double resumed = 0.0;    // Last (re)schedule time.
+    double rate = 0.0;       // Effective bytes/s since `resumed`.
+    bool counted = true;
+    JobId job = kInvalidId;
+    MonotaskId id = kInvalidId;
+    uint64_t trace_id = 0;
+    std::shared_ptr<const CancelToken> cancel;
+    std::function<void()> on_complete;
+    std::function<void()> on_failure;
+    EventId event = kInvalidEventId;
+  };
+
   MonotaskQueue& queue(ResourceType r) { return queues_[static_cast<size_t>(r)]; }
   const MonotaskQueue& queue(ResourceType r) const {
     return queues_[static_cast<size_t>(r)];
@@ -183,6 +226,16 @@ class Worker {
   // after this worker failed (and possibly recovered: epoch mismatch).
   void TraceLost(ResourceType r, double input_bytes, double elapsed, bool counted,
                  JobId job, MonotaskId monotask, uint64_t trace_id);
+  // Completion-event target for registered CPU/disk monotasks.
+  void FinishInFlight(uint64_t key);
+  // Final accounting for a cancelled monotask: releases running bytes and
+  // the concurrency slot, records the kCancelled trace span and reports
+  // `done_bytes` / `elapsed` to the waste sink.
+  void DiscardCancelled(ResourceType r, double input_bytes, double elapsed, bool counted,
+                        JobId job, MonotaskId monotask, uint64_t trace_id,
+                        double done_bytes);
+  // Work completed so far by an in-flight entry at time `now`.
+  static double DoneWork(const InFlight& fl, double now);
   void RecordRate(ResourceType r, double bytes, double elapsed);
   void ScheduleHeartbeat();
   void ResetRateMonitors(double now);
@@ -194,6 +247,11 @@ class Worker {
   Tracer* tracer_ = nullptr;
 
   MonotaskQueue queues_[kNumMonotaskResources];
+  // Ordered map: PumpQueue (via DiscardCancelled) may insert new entries
+  // while SweepCancelled iterates, which std::map iterators tolerate.
+  std::map<uint64_t, InFlight> inflight_;
+  uint64_t next_inflight_key_ = 1;
+  WasteSink waste_sink_;
   bool failed_ = false;
   double failed_since_ = -1.0;
   int failure_epoch_ = 0;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/common/time_series.h"
+#include "src/dag/types.h"
 
 namespace ursa {
 
@@ -38,10 +39,22 @@ struct FaultStats {
   // Per recovery episode: detection -> all reset tasks re-completed.
   std::vector<double> recovery_latencies;
 
+  // --- Speculation (written by the speculation manager / job managers). ---
+  int speculations_launched = 0;
+  int speculations_won = 0;        // Copy finished first; original cancelled.
+  int speculations_lost = 0;       // Original finished first; copy cancelled.
+  int speculations_cancelled = 0;  // Copy torn down (worker failure, reset, abort).
+  // Duplicate work discarded by first-finisher-wins cancellation, per
+  // monotask resource: bytes actually processed by the losing side and the
+  // busy seconds it held the resource for.
+  double wasted_bytes[kNumMonotaskResources] = {};
+  double wasted_seconds[kNumMonotaskResources] = {};
+
   // --- Cumulative time series for post-run plots. ---
   StepTracker detections_series;
   StepTracker retries_series;
   StepTracker reexec_series;
+  StepTracker wasted_series;  // Cumulative wasted busy seconds.
 
   void RecordDetection(double now, double latency) {
     ++detections;
@@ -58,6 +71,11 @@ struct FaultStats {
     reexec_series.Set(now, static_cast<double>(tasks_reset));
   }
   void RecordRecoveryLatency(double seconds) { recovery_latencies.push_back(seconds); }
+  void RecordWastedWork(double now, ResourceType r, double bytes, double seconds) {
+    wasted_bytes[static_cast<int>(r)] += bytes;
+    wasted_seconds[static_cast<int>(r)] += seconds;
+    wasted_series.Set(now, total_wasted_seconds());
+  }
 
   double avg_detection_latency() const {
     return detections > 0 ? total_detection_latency / detections : 0.0;
@@ -72,9 +90,28 @@ struct FaultStats {
     }
     return sum / static_cast<double>(recovery_latencies.size());
   }
+  double total_wasted_seconds() const {
+    double sum = 0.0;
+    for (double v : wasted_seconds) {
+      sum += v;
+    }
+    return sum;
+  }
+  double total_wasted_bytes() const {
+    double sum = 0.0;
+    for (double v : wasted_bytes) {
+      sum += v;
+    }
+    return sum;
+  }
+  int speculations_active() const {
+    return speculations_launched - speculations_won - speculations_lost -
+           speculations_cancelled;
+  }
   bool any_faults() const {
     return crashes_injected + recoveries_injected + transients_injected + degrades_injected +
-               detections + transient_failures + worker_loss_failures + full_restarts >
+               detections + transient_failures + worker_loss_failures + full_restarts +
+               speculations_launched >
            0;
   }
 };

@@ -153,6 +153,22 @@ void MetricsCollector::PrintFaultReport(const FaultStats& stats, const std::stri
       .Cell(static_cast<int64_t>(stats.full_restart_equivalent_tasks))
       .Cell(static_cast<int64_t>(stats.full_restarts));
   recovery.Print(title + " - recovery work");
+
+  if (stats.speculations_launched > 0) {
+    Table spec({"launched", "won", "lost", "cancelled", "active", "wastedCPU(B)",
+                "wastedDisk(B)", "wastedNet(B)", "wasted(s)"});
+    spec.Row()
+        .Cell(static_cast<int64_t>(stats.speculations_launched))
+        .Cell(static_cast<int64_t>(stats.speculations_won))
+        .Cell(static_cast<int64_t>(stats.speculations_lost))
+        .Cell(static_cast<int64_t>(stats.speculations_cancelled))
+        .Cell(static_cast<int64_t>(stats.speculations_active()))
+        .Cell(stats.wasted_bytes[static_cast<int>(ResourceType::kCpu)], 0)
+        .Cell(stats.wasted_bytes[static_cast<int>(ResourceType::kDisk)], 0)
+        .Cell(stats.wasted_bytes[static_cast<int>(ResourceType::kNetwork)], 0)
+        .Cell(stats.total_wasted_seconds(), 2);
+    spec.Print(title + " - speculation");
+  }
 }
 
 }  // namespace ursa

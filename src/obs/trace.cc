@@ -25,6 +25,8 @@ const char* StatusName(TraceEventKind kind) {
       return "fail";
     case TraceEventKind::kLost:
       return "lost";
+    case TraceEventKind::kCancelled:
+      return "cancelled";
     default:
       return "?";
   }
@@ -60,6 +62,16 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "detection";
     case TraceEventKind::kRejoin:
       return "rejoin";
+    case TraceEventKind::kCancelled:
+      return "cancelled";
+    case TraceEventKind::kSpecLaunched:
+      return "spec_launched";
+    case TraceEventKind::kSpecWon:
+      return "spec_won";
+    case TraceEventKind::kSpecLost:
+      return "spec_lost";
+    case TraceEventKind::kSpecCancelled:
+      return "spec_cancelled";
   }
   return "?";
 }
@@ -129,7 +141,7 @@ void Tracer::MonotaskFinished(double now, uint64_t id, TraceEventKind kind, Reso
     return;
   }
   CHECK(kind == TraceEventKind::kComplete || kind == TraceEventKind::kFail ||
-        kind == TraceEventKind::kLost);
+        kind == TraceEventKind::kLost || kind == TraceEventKind::kCancelled);
   TraceEvent event;
   event.kind = kind;
   event.t = now;
@@ -235,6 +247,7 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
       case TraceEventKind::kComplete:
       case TraceEventKind::kFail:
       case TraceEventKind::kLost:
+      case TraceEventKind::kCancelled:
         std::snprintf(buf, sizeof(buf),
                       "{\"name\":\"%s j%d m%d\",\"cat\":\"monotask\",\"ph\":\"e\","
                       "\"id\":%" PRIu64 ",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
@@ -243,6 +256,19 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
                       "\"counted\":%s}}",
                       res, e.job, e.monotask, e.seq, ts, e.worker, e.resource, e.seq,
                       StatusName(e.kind), res, e.b, e.counted ? "true" : "false");
+        emit(buf);
+        break;
+      case TraceEventKind::kSpecLaunched:
+      case TraceEventKind::kSpecWon:
+      case TraceEventKind::kSpecLost:
+      case TraceEventKind::kSpecCancelled:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"spec\",\"ph\":\"i\",\"s\":\"t\","
+                      "\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
+                      "\"args\":{\"job\":%d,\"task\":%d,\"stage\":%d,\"worker\":%d}}",
+                      TraceEventKindName(e.kind), ts,
+                      e.worker == kInvalidId ? kSchedulerPid : e.worker, e.job, e.task,
+                      e.stage, e.worker);
         emit(buf);
         break;
       case TraceEventKind::kTaskReady:
@@ -326,6 +352,12 @@ std::array<Tracer::ResourceSummary, kNumMonotaskResources> Tracer::SummarizeMono
       case TraceEventKind::kLost:
         ++rs.lost;
         break;
+      case TraceEventKind::kCancelled:
+        ++rs.cancelled;
+        if (e.counted) {
+          rs.wasted_time += e.b;
+        }
+        break;
       default:
         break;
     }
@@ -340,7 +372,7 @@ std::array<Tracer::ResourceSummary, kNumMonotaskResources> Tracer::SummarizeMono
 void Tracer::PrintSummary(const std::string& title) const {
   const auto summaries = SummarizeMonotasks();
   Table counts({"resource", "queued", "dispatched", "completed", "failed", "lost",
-                "busy(s)"});
+                "cancelled", "busy(s)", "wasted(s)"});
   Table latencies({"resource", "qwait-mean(ms)", "qwait-p50", "qwait-p95", "qwait-p99",
                    "svc-mean(ms)", "svc-p50", "svc-p95", "svc-p99"});
   for (int r = 0; r < kNumMonotaskResources; ++r) {
@@ -353,7 +385,9 @@ void Tracer::PrintSummary(const std::string& title) const {
         .Cell(rs.completes)
         .Cell(rs.fails)
         .Cell(rs.lost)
-        .Cell(rs.busy_time, 2);
+        .Cell(rs.cancelled)
+        .Cell(rs.busy_time, 2)
+        .Cell(rs.wasted_time, 2);
     latencies.Row()
         .Cell(name)
         .Cell(rs.queue_wait.mean * 1e3, 3)

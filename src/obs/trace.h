@@ -53,6 +53,17 @@ enum class TraceEventKind : int8_t {
   kWorkerRecover = 10,
   kDetection = 11,
   kRejoin = 12,
+  // Speculation. kCancelled is a monotask finish kind (cooperative cancel of
+  // a losing copy; resources were partially consumed, the elapsed time is
+  // wasted work). The kSpec* kinds are task-level instants recording a
+  // speculative copy's lifecycle: launched on another worker, won the race,
+  // lost it (the original finished first), or was torn down for some other
+  // reason (worker failure, lineage reset, job abort).
+  kCancelled = 13,
+  kSpecLaunched = 14,
+  kSpecWon = 15,
+  kSpecLost = 16,
+  kSpecCancelled = 17,
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -97,7 +108,8 @@ class Tracer {
                           MonotaskId m, double bytes);
   void MonotaskDispatched(double now, uint64_t id, ResourceType r, WorkerId w, JobId j,
                           MonotaskId m, double bytes, double queue_wait, bool counted);
-  // `kind` is kComplete, kFail or kLost; `service` is the span duration.
+  // `kind` is kComplete, kFail, kLost or kCancelled; `service` is the span
+  // duration.
   void MonotaskFinished(double now, uint64_t id, TraceEventKind kind, ResourceType r,
                         WorkerId w, JobId j, MonotaskId m, double bytes, double service,
                         bool counted);
@@ -129,9 +141,11 @@ class Tracer {
     int64_t completes = 0;
     int64_t fails = 0;
     int64_t lost = 0;
-    double busy_time = 0.0;  // Sum of counted service durations (seconds).
-    Summary queue_wait;      // Seconds.
-    Summary service;         // Seconds.
+    int64_t cancelled = 0;
+    double busy_time = 0.0;    // Sum of counted service durations (seconds).
+    double wasted_time = 0.0;  // Counted service seconds of cancelled copies.
+    Summary queue_wait;        // Seconds.
+    Summary service;           // Seconds.
   };
   // Reduced over the events currently retained in the ring.
   std::array<ResourceSummary, kNumMonotaskResources> SummarizeMonotasks() const;

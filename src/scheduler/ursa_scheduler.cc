@@ -30,6 +30,17 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
         [this](WorkerId w, double silence) { HandleWorkerFailure(w); });
     detector_->set_on_rejoin([this](WorkerId w) { OnWorkerRejoined(w); });
   }
+  if (config_.spec.enabled) {
+    spec_manager_ = std::make_unique<SpeculationManager>(config_.spec, &fault_stats_);
+    // Cancelled monotasks report their elapsed busy time (the wasted work of
+    // the race's losing side) straight from the workers.
+    for (int w = 0; w < cluster_->size(); ++w) {
+      cluster_->worker(w).set_waste_sink(
+          [this](ResourceType r, double bytes, double seconds) {
+            spec_manager_->RecordWaste(sim_->Now(), r, bytes, seconds);
+          });
+    }
+  }
 }
 
 UrsaScheduler::~UrsaScheduler() = default;
@@ -98,6 +109,10 @@ int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
     if (!entry->admitted || entry->finished) {
       continue;
     }
+    // Tear down speculative copies on the dead worker (and mark primaries
+    // lost there as handed over to their surviving copy) before any recovery
+    // decision; RecoverFromWorkerFailure repeats this idempotently.
+    entry->jm->HandleWorkerFailureForSpeculation(worker_id);
     if (config_.fault.enable_lineage_recovery) {
       JobManager::RecoveryResult r = entry->jm->RecoverFromWorkerFailure(worker_id);
       if (r.inputs_lost) {
@@ -139,6 +154,9 @@ void UrsaScheduler::StartJobManager(JobEntry& entry) {
   entry.jm->ConfigureFaultPolicy(config_.fault.max_monotask_attempts,
                                  config_.fault.retry_backoff_base,
                                  config_.fault.retry_backoff_cap, &fault_stats_);
+  if (spec_manager_ != nullptr) {
+    entry.jm->ConfigureSpeculation(spec_manager_.get());
+  }
   entry.jm->Start();
 }
 
@@ -206,6 +224,7 @@ void UrsaScheduler::Tick() {
   TryAdmitJobs();
   RefreshPriorities();
   const PlacementStats stats = RunPlacement();
+  RunSpeculation();
   if (tracer_ != nullptr) {
     const double wall_us = std::chrono::duration<double, std::micro>(
                                std::chrono::steady_clock::now() - wall_start)
@@ -487,6 +506,53 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPackingPlacement() {
     }
   }
   return stats;
+}
+
+void UrsaScheduler::RunSpeculation() {
+  if (spec_manager_ == nullptr) {
+    return;
+  }
+  const double now = sim_->Now();
+  int running = 0;
+  std::vector<StragglerCandidate> candidates;
+  for (const auto& entry : jobs_) {
+    if (!entry->admitted || entry->finished) {
+      continue;
+    }
+    running += entry->jm->CountPlacedTasks();
+    entry->jm->CollectStragglerCandidates(now, &candidates);
+  }
+  if (candidates.empty() || !spec_manager_->CanLaunch(running)) {
+    return;
+  }
+  // Most-behind first: the LATE heuristic duplicates the task expected to
+  // hold the stage back the longest.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const StragglerCandidate& a, const StragglerCandidate& b) {
+                     return a.estimated_time_to_finish > b.estimated_time_to_finish;
+                   });
+  const double ept = config_.scheduling_interval * config_.ept_slack;
+  std::vector<WorkerLoad> loads = SnapshotLoads();
+  for (const StragglerCandidate& cand : candidates) {
+    if (!spec_manager_->CanLaunch(running)) {
+      break;  // Wasted-work budget exhausted for this tick.
+    }
+    TaskUsage usage;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      usage.bytes[r] = cand.bytes[r];
+    }
+    usage.memory = cand.memory;
+    WorkerId w = kInvalidId;
+    double f = 0.0;
+    if (!BestWorker(usage, loads, ept, &w, &f, cand.worker) || w == cand.worker) {
+      continue;  // No eligible worker besides the straggling one.
+    }
+    JobEntry& entry = *jobs_[static_cast<size_t>(cand.job)];
+    if (!entry.jm->PlaceSpeculative(cand.task, w)) {
+      continue;
+    }
+    ApplyToLoad(usage, ept, &loads[static_cast<size_t>(w)]);
+  }
 }
 
 UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {

@@ -31,6 +31,7 @@
 #include "src/fault/fault_stats.h"
 #include "src/metrics/metrics.h"
 #include "src/scheduler/job_ordering.h"
+#include "src/spec/speculation.h"
 
 namespace ursa {
 
@@ -61,6 +62,8 @@ struct UrsaSchedulerConfig {
   // Fault tolerance (section 4.3): heartbeat detection, lineage recovery
   // and the transient-failure retry policy.
   FaultToleranceConfig fault;
+  // Straggler mitigation by speculative execution (DESIGN.md section 9).
+  SpeculationConfig spec;
 };
 
 class UrsaScheduler : public JobManagerListener {
@@ -87,6 +90,8 @@ class UrsaScheduler : public JobManagerListener {
   FaultStats* mutable_fault_stats() { return &fault_stats_; }
   // Null when heartbeat detection is disabled.
   const FailureDetector* failure_detector() const { return detector_.get(); }
+  // Null when speculation is disabled.
+  const SpeculationManager* speculation_manager() const { return spec_manager_.get(); }
 
   // JobManagerListener:
   void OnTaskReady(JobId job, TaskId task) override;
@@ -130,6 +135,10 @@ class UrsaScheduler : public JobManagerListener {
   };
   PlacementStats RunPlacement();
   PlacementStats RunPackingPlacement();
+  // Straggler pass of one tick: collect candidates from every admitted job,
+  // rank by estimated time to finish and, within the budget, place copies on
+  // workers chosen by the same Algorithm-1 score as primary placement.
+  void RunSpeculation();
 
   // Recovery entry point shared by FailWorker() and the heartbeat detector.
   // Handles each worker-failure epoch exactly once; returns affected jobs.
@@ -188,6 +197,9 @@ class UrsaScheduler : public JobManagerListener {
   std::unique_ptr<PackingState> packing_;  // Non-null for packing placements.
   // Non-null when heartbeat detection is enabled.
   std::unique_ptr<FailureDetector> detector_;
+  // Non-null when speculative execution is enabled; shared by all job
+  // managers for budget enforcement and waste accounting.
+  std::unique_ptr<SpeculationManager> spec_manager_;
   FaultStats fault_stats_;
   // Last Worker::failure_epoch() handled per worker, so an explicit
   // FailWorker() call and a later detector declaration of the same crash

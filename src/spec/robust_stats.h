@@ -1,0 +1,58 @@
+// Robust running statistics for straggler detection (DESIGN.md section 9).
+//
+// A RobustSample keeps a sorted multiset of observed durations and answers
+// median and MAD (median absolute deviation) queries. Median + MAD are the
+// LATE-style robust alternative to mean + stddev: a handful of genuinely
+// slow tasks shifts neither, so the detection threshold tracks the healthy
+// population instead of chasing the outliers it is trying to flag.
+#ifndef SRC_SPEC_ROBUST_STATS_H_
+#define SRC_SPEC_ROBUST_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace ursa {
+
+class RobustSample {
+ public:
+  void Add(double value) {
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), value);
+    sorted_.insert(it, value);
+  }
+
+  size_t size() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  double Median() const { return MedianOf(sorted_); }
+
+  // Median of |x - median(x)|. Zero until there are at least two samples.
+  double Mad() const {
+    if (sorted_.size() < 2) {
+      return 0.0;
+    }
+    const double median = Median();
+    std::vector<double> deviations;
+    deviations.reserve(sorted_.size());
+    for (double v : sorted_) {
+      deviations.push_back(v >= median ? v - median : median - v);
+    }
+    std::sort(deviations.begin(), deviations.end());
+    return MedianOf(deviations);
+  }
+
+ private:
+  static double MedianOf(const std::vector<double>& sorted) {
+    if (sorted.empty()) {
+      return 0.0;
+    }
+    const size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  }
+
+  std::vector<double> sorted_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_SPEC_ROBUST_STATS_H_

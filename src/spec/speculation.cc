@@ -1,0 +1,32 @@
+#include "src/spec/speculation.h"
+
+#include <algorithm>
+
+namespace ursa {
+
+bool IsStraggler(const SpeculationConfig& config, const RobustSample& stage_durations,
+                 double elapsed) {
+  if (static_cast<int>(stage_durations.size()) < config.min_stage_samples) {
+    return false;
+  }
+  const double median = stage_durations.Median();
+  if (median <= 0.0) {
+    return false;
+  }
+  const double limit = std::max(
+      config.min_runtime,
+      config.slowdown_threshold * median + config.mad_multiplier * stage_durations.Mad());
+  return elapsed > limit;
+}
+
+double EstimatedTimeToFinish(double elapsed, double progress) {
+  progress = std::clamp(progress, 0.0, 1.0);
+  if (progress <= 0.0) {
+    // No progress signal yet: rank by elapsed time alone, above any task
+    // that has made progress for the same elapsed time.
+    return elapsed * 1e6;
+  }
+  return elapsed * (1.0 - progress) / progress;
+}
+
+}  // namespace ursa

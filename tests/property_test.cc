@@ -7,6 +7,7 @@
 
 #include "src/common/rng.h"
 #include "src/driver/experiment.h"
+#include "src/scheduler/ursa_scheduler.h"
 #include "src/workloads/tpch.h"
 
 namespace ursa {
@@ -223,6 +224,117 @@ TEST_P(AblationCompletes, EveryConfigurationFinishesTheWorkload) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Configs, AblationCompletes, ::testing::Range(0, 8));
+
+// Chaos fuzz over the worker resource counters: under a random mix of
+// crashes, recoveries, transient monotask failures, speed-factor churn and
+// speculative cancellations, busy_cores / busy_disks / active_network /
+// running_bytes must never go negative or exceed capacity, and everything
+// must return to zero once the workload drains.
+class ChaosInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosInvariants, WorkerCountersNeverGoNegativeAndDrainToZero) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 7919 + 1);
+  Simulator sim;
+  ClusterConfig cc;
+  cc.num_workers = 5;
+  cc.worker.cores = 8;
+  cc.worker.cpu_byte_rate = 100e6;
+  Cluster cluster(&sim, cc);
+  UrsaSchedulerConfig sc;
+  sc.spec.enabled = true;  // Speculative cancellations join the chaos mix.
+  sc.spec.min_runtime = 0.5;
+  sc.spec.min_stage_samples = 2;
+  sc.spec.slowdown_threshold = 1.3;
+  UrsaScheduler scheduler(&sim, &cluster, sc);
+
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 6;
+  wc.submit_interval = 2.0;
+  wc.seed = seed;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+
+  const auto check = [&] {
+    for (int w = 0; w < cluster.size(); ++w) {
+      const Worker& worker = cluster.worker(w);
+      EXPECT_GE(worker.busy_cores(), 0) << "worker " << w;
+      EXPECT_LE(worker.busy_cores(), cc.worker.cores) << "worker " << w;
+      EXPECT_GE(worker.busy_disks(), 0) << "worker " << w;
+      EXPECT_GE(worker.active_network(), 0) << "worker " << w;
+      for (int r = 0; r < kNumMonotaskResources; ++r) {
+        EXPECT_GE(worker.running_bytes(static_cast<ResourceType>(r)), -1e-3)
+            << "worker " << w << " resource " << r;
+      }
+    }
+  };
+
+  // One guaranteed straggler so speculation reliably participates.
+  sim.ScheduleAt(1.0, [&] { cluster.worker(1).set_speed_factor(0.1); });
+  // Random chaos script. Actions pick their victim at fire time so the mix
+  // adapts to the current cluster state (never kill a third worker, only
+  // recover dead ones).
+  for (int i = 0; i < 14; ++i) {
+    sim.ScheduleAt(rng.Uniform(1.0, 30.0), [&] {
+      const int w = static_cast<int>(
+          rng.UniformInt(static_cast<int64_t>(0), cluster.size() - 1));
+      Worker& worker = cluster.worker(w);
+      int failed = 0;
+      for (int j = 0; j < cluster.size(); ++j) {
+        failed += cluster.worker(j).failed() ? 1 : 0;
+      }
+      switch (rng.UniformInt(static_cast<int64_t>(0), 3)) {
+        case 0:
+          if (!worker.failed() && failed < 2) {
+            scheduler.FailWorker(w);
+          }
+          break;
+        case 1:
+          if (worker.failed()) {
+            worker.Recover();  // The heartbeat detector rejoins it.
+          }
+          break;
+        case 2:
+          if (!worker.failed()) {
+            worker.set_speed_factor(rng.Uniform(0.05, 1.0));
+          }
+          break;
+        case 3:
+          if (!worker.failed()) {
+            worker.InjectTransientFailures(2);
+          }
+          break;
+      }
+      check();
+    });
+  }
+  // Steady sampling of the invariants while the chaos plays out.
+  for (int i = 1; i <= 40; ++i) {
+    sim.ScheduleAt(static_cast<double>(i), check);
+  }
+  sim.Run();
+  EXPECT_TRUE(scheduler.AllJobsFinished()) << "seed " << seed;
+  // Drained: every healthy worker is fully idle with clean memory books.
+  for (int w = 0; w < cluster.size(); ++w) {
+    const Worker& worker = cluster.worker(w);
+    if (worker.failed()) {
+      continue;
+    }
+    EXPECT_EQ(worker.busy_cores(), 0) << "worker " << w;
+    EXPECT_EQ(worker.busy_disks(), 0) << "worker " << w;
+    EXPECT_EQ(worker.active_network(), 0) << "worker " << w;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      EXPECT_NEAR(worker.running_bytes(static_cast<ResourceType>(r)), 0.0, 1e-3);
+    }
+    EXPECT_NEAR(worker.free_memory(), worker.memory_capacity(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosInvariants, ::testing::Range<uint64_t>(1, 6));
 
 }  // namespace
 }  // namespace ursa

@@ -187,6 +187,35 @@ TEST_F(WorkerTest, RateMonitorAdjustsForComplexity) {
   EXPECT_NEAR(worker.ProcessingRate(ResourceType::kCpu), 25.0 * 4, 1.0);
 }
 
+TEST_F(WorkerTest, SpeedFactorAffectsInFlightMonotasks) {
+  Worker& worker = cluster_->worker(0);
+  double done_at = -1.0;
+  worker.Submit(Cpu(100.0, [&] { done_at = sim_.Now(); }));  // 1 s at full speed.
+  // Halfway through, the worker degrades to half speed: 50 bytes remain and
+  // now take 1 s, so completion slips from t=1.0 to t=1.5.
+  sim_.Schedule(0.5, [&] { worker.set_speed_factor(0.5); });
+  sim_.Run();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+TEST_F(WorkerTest, SpeedFactorRestoreReschedulesRemainingWork) {
+  Worker& worker = cluster_->worker(0);
+  worker.set_speed_factor(0.25);
+  double cpu_done = -1.0;
+  double disk_done = -1.0;
+  worker.Submit(Cpu(100.0, [&] { cpu_done = sim_.Now(); }));  // 4 s degraded.
+  RunnableMonotask disk = MakeTask(1, 0.0, 0.0, 50.0);
+  disk.type = ResourceType::kDisk;
+  disk.work = 50.0;  // 1 s at 50 B/s, 4 s degraded.
+  disk.on_complete = [&] { disk_done = sim_.Now(); };
+  worker.Submit(std::move(disk));
+  // Recover at t=2: both are half done, the remainder runs at full rate.
+  sim_.Schedule(2.0, [&] { worker.set_speed_factor(1.0); });
+  sim_.Run();
+  EXPECT_NEAR(cpu_done, 2.5, 1e-9);   // 50 bytes left at 100 B/s.
+  EXPECT_NEAR(disk_done, 2.5, 1e-9);  // 25 bytes left at 50 B/s.
+}
+
 TEST_F(WorkerTest, LocalPullsUseLocalCopyRate) {
   Worker& worker = cluster_->worker(0);
   bool done = false;

@@ -24,7 +24,9 @@ struct ResourceStats {
   int64_t completes = 0;
   int64_t fails = 0;
   int64_t lost = 0;
-  double busy_time = 0.0;  // Counted service seconds.
+  int64_t cancelled = 0;
+  double busy_time = 0.0;    // Counted service seconds.
+  double wasted_time = 0.0;  // Counted service seconds of cancelled copies.
   std::vector<double> queue_waits;
   std::vector<double> services;
 };
@@ -58,6 +60,7 @@ int main(int argc, char** argv) {
   std::map<std::string, ResourceStats> by_resource;
   std::map<uint64_t, const ChromeTraceEvent*> open;  // Dispatches awaiting an end.
   std::map<std::string, int64_t> faults;
+  std::map<std::string, int64_t> spec_events;
   int64_t ticks = 0;
   int64_t candidates = 0;
   int64_t placed = 0;
@@ -98,12 +101,17 @@ int main(int argc, char** argv) {
           ++rs.completes;
         } else if (status == "fail") {
           ++rs.fails;
+        } else if (status == "cancelled") {
+          ++rs.cancelled;
         } else {
           ++rs.lost;
         }
         rs.services.push_back(Arg(e, "service_s"));
         if (Arg(e, "counted") != 0.0) {
           rs.busy_time += Arg(e, "service_s");
+          if (status == "cancelled") {
+            rs.wasted_time += Arg(e, "service_s");
+          }
         }
       }
     } else if (e.cat == "scheduler" && e.name == "tick") {
@@ -115,6 +123,8 @@ int main(int argc, char** argv) {
       max_wall_us = wall > max_wall_us ? wall : max_wall_us;
     } else if (e.cat == "fault") {
       ++faults[e.name];
+    } else if (e.cat == "spec") {
+      ++spec_events[e.name];
     }
   }
 
@@ -122,7 +132,7 @@ int main(int argc, char** argv) {
               first_ts / 1e6, last_ts / 1e6);
 
   Table counts({"resource", "queued", "dispatched", "completed", "failed", "lost",
-                "busy(s)"});
+                "cancelled", "busy(s)", "wasted(s)"});
   Table latencies({"resource", "qwait-mean(ms)", "qwait-p50", "qwait-p95", "qwait-p99",
                    "svc-mean(ms)", "svc-p50", "svc-p95", "svc-p99"});
   for (auto& [resource, rs] : by_resource) {
@@ -135,7 +145,9 @@ int main(int argc, char** argv) {
         .Cell(rs.completes)
         .Cell(rs.fails)
         .Cell(rs.lost)
-        .Cell(rs.busy_time, 2);
+        .Cell(rs.cancelled)
+        .Cell(rs.busy_time, 2)
+        .Cell(rs.wasted_time, 2);
     latencies.Row()
         .Cell(resource)
         .Cell(wait.mean * 1e3, 3)
@@ -166,6 +178,13 @@ int main(int argc, char** argv) {
       fault_table.Row().Cell(name).Cell(count);
     }
     fault_table.Print("fault events");
+  }
+  if (!spec_events.empty()) {
+    Table spec_table({"speculation event", "count"});
+    for (const auto& [name, count] : spec_events) {
+      spec_table.Row().Cell(name).Cell(count);
+    }
+    spec_table.Print("speculation events");
   }
 
   // Schema diagnostics. Unpaired dispatches are expected only when the ring

@@ -13,6 +13,8 @@
 //              --fault-degrades=N --fault-seed=N --fault-horizon=SEC
 //              --detect-timeout=SEC --heartbeat=SEC --no-lineage
 //              --retry-attempts=N
+// Speculation: --spec --spec-threshold=X --spec-budget=FRAC
+//              --spec-min-runtime=SEC
 //
 // Prints the paper-style summary (makespan, avg JCT, SE/UE), a fault report
 // when chaos was injected, and optionally a sampled cluster-utilization
@@ -58,6 +60,11 @@ struct Flags {
   double heartbeat = 0.5;
   bool no_lineage = false;
   int retry_attempts = 3;
+  // Straggler mitigation (DESIGN.md section 9; Ursa schemes only).
+  bool spec = false;
+  double spec_threshold = 1.75;
+  double spec_budget = 0.1;
+  double spec_min_runtime = 1.0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -82,7 +89,9 @@ int Usage() {
                "                [--fault-transients=N] [--fault-degrades=N]\n"
                "                [--fault-seed=N] [--fault-horizon=SEC]\n"
                "                [--detect-timeout=SEC] [--heartbeat=SEC]\n"
-               "                [--no-lineage] [--retry-attempts=N]\n");
+               "                [--no-lineage] [--retry-attempts=N]\n"
+               "                [--spec] [--spec-threshold=X] [--spec-budget=FRAC]\n"
+               "                [--spec-min-runtime=SEC]\n");
   return 2;
 }
 
@@ -139,6 +148,14 @@ int main(int argc, char** argv) {
       flags.no_lineage = true;
     } else if (ParseFlag(argv[i], "retry-attempts", &value)) {
       flags.retry_attempts = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--spec") == 0) {
+      flags.spec = true;
+    } else if (ParseFlag(argv[i], "spec-threshold", &value)) {
+      flags.spec_threshold = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "spec-budget", &value)) {
+      flags.spec_budget = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "spec-min-runtime", &value)) {
+      flags.spec_min_runtime = std::atof(value.c_str());
     } else {
       return Usage();
     }
@@ -207,6 +224,10 @@ int main(int argc, char** argv) {
   config.ursa.fault.detector.detect_timeout = flags.detect_timeout;
   config.ursa.fault.enable_lineage_recovery = !flags.no_lineage;
   config.ursa.fault.max_monotask_attempts = flags.retry_attempts;
+  config.ursa.spec.enabled = flags.spec;
+  config.ursa.spec.slowdown_threshold = flags.spec_threshold;
+  config.ursa.spec.budget_fraction = flags.spec_budget;
+  config.ursa.spec.min_runtime = flags.spec_min_runtime;
   if (flags.fault_crashes + flags.fault_recovers + flags.fault_transients +
           flags.fault_degrades >
       0) {
