@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
   Table overhead({"scheme", "makespan", "overhead%", "detections", "rejoins", "retries",
                   "escalations", "tasksReset", "fullRestartEquiv", "fullRestarts"});
   for (const ExperimentResult& result : results) {
-    const FaultStats& f = result.faults;
+    const FaultCounters& f = result.faults;
     overhead.Row()
         .Cell(result.scheme)
         .Cell(result.makespan(), 1)
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   }
   overhead.Print("Chaos overhead and recovery work");
 
-  const FaultStats& lineage = results[1].faults;
+  const FaultCounters& lineage = results[1].faults;
   std::printf("\navg detection latency: %.3f s, avg recovery latency: %.3f s\n",
               lineage.avg_detection_latency(), lineage.avg_recovery_latency());
   if (lineage.full_restart_equivalent_tasks > 0) {

@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
           RunExperiment(workload, config, sc.name + (spec_on ? "/spec" : "/base"));
       const Summary jct = Summarize(Jcts(result));
       (spec_on ? on_summary : off_summary) = jct;
-      const FaultStats& f = result.faults;
+      const FaultCounters& f = result.faults;
       table.Row()
           .Cell(sc.name)
           .Cell(spec_on ? "on" : "off")

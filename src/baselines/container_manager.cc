@@ -37,7 +37,7 @@ void ContainerManager::CancelPending(JobId job) {
   }
 }
 
-void ContainerManager::ReleaseContainer(JobId job, WorkerId worker, int cores,
+void ContainerManager::ReleaseContainer([[maybe_unused]] JobId job, WorkerId worker, int cores,
                                         double memory_bytes) {
   used_cores_[static_cast<size_t>(worker)] -= cores;
   CHECK_GE(used_cores_[static_cast<size_t>(worker)], -1e-9);

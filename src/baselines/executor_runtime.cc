@@ -291,7 +291,7 @@ class ExecutorModelScheduler::ExecutorJob {
   // `own_core` marks the kTaskSlots mode where the slot's core is held for
   // the whole task; the core is *busy* only during CPU compute either way.
   void ExecuteMonotask(MonotaskId m, int exec_index, std::function<void()> done,
-                       bool own_core) {
+                       [[maybe_unused]] bool own_core) {
     MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
     const MonotaskSpec& mt = plan().monotask(m);
     const CollapsedOp& cop = plan().cop(mt.cop);

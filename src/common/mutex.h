@@ -1,0 +1,60 @@
+// Annotated mutex wrappers (DESIGN.md section 10).
+//
+// Mutex wraps std::mutex with clang capability attributes so that
+// `-Wthread-safety` can verify the lock graph statically; MutexLock is the
+// RAII guard. In today's single-threaded simulator every acquisition is
+// uncontended (a few nanoseconds), so taking the locks "trivially" costs
+// nothing while letting the analysis machine-check lock discipline before
+// the morsel-parallel core lands.
+//
+// Lock hierarchy (acquire strictly downward; see DESIGN.md section 10):
+//   UrsaScheduler::state_mu_
+//     > FaultStats::mu_ / SpeculationManager::mu_
+//     > Worker's OccupancyLedger::mu_ > MonotaskQueue::mu_
+//     > EventQueue::mu_
+// All of these are leaf-like: no lock is ever held while invoking foreign
+// code (simulator callbacks, job-manager notifications, waste sinks).
+#ifndef SRC_COMMON_MUTEX_H_
+#define SRC_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "src/common/annotations.h"
+
+namespace ursa {
+
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Escape hatch for APIs (std::condition_variable etc.) that need the
+  // underlying handle; using it bypasses the static analysis.
+  std::mutex& native_handle() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII guard. Scoped-capability so the analysis knows the mutex is held for
+// exactly the guard's lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_MUTEX_H_

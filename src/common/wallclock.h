@@ -1,0 +1,32 @@
+// The single sanctioned wall-clock access point in src/ (detlint rule
+// `wallclock`). Simulated time must come from Simulator::Now(); host time is
+// legitimate only for measuring the scheduler's own computation cost (e.g.
+// the per-tick wall-time recorded in traces). Funneling every host-clock
+// read through this header keeps wall time out of simulation logic, where
+// it would silently break seeded reproducibility.
+#ifndef SRC_COMMON_WALLCLOCK_H_
+#define SRC_COMMON_WALLCLOCK_H_
+
+#include <chrono>
+
+namespace ursa {
+
+// Measures elapsed host time (monotonic) between construction and
+// ElapsedMicros(). Never use this to derive simulated timestamps.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_COMMON_WALLCLOCK_H_

@@ -66,7 +66,7 @@ struct ExperimentResult {
   // Straggler-time-to-JCT ratio (section 5.1.2), percent.
   double straggler_ratio = 0.0;
   // Fault injection / detection / recovery counters (Ursa scheduler only).
-  FaultStats faults;
+  FaultCounters faults;
   // Non-null when tracing was enabled (config.trace / config.trace_out).
   std::shared_ptr<Tracer> trace;
   double makespan() const { return efficiency.makespan; }

@@ -1,7 +1,6 @@
 #include "src/exec/estimator.h"
 
-#include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "src/common/logging.h"
 
@@ -96,7 +95,9 @@ std::vector<RunnableMonotask::Pull> UsageEstimator::ResolvePulls(
   const MonotaskSpec& mt = plan.monotask(mt_id);
   const CollapsedOp& cop = plan.cop(mt.cop);
   CHECK(cop.type == ResourceType::kNetwork);
-  std::unordered_map<WorkerId, double> per_source;
+  // Ordered by WorkerId so the emitted pull list is deterministic without a
+  // post-sort (detlint rule `no-unordered-iteration`).
+  std::map<WorkerId, double> per_source;
   auto add_partition = [&](DataId d, int partition, double weight) {
     const double local_bytes = LookupLocal(local, d, partition);
     if (local_bytes >= 0.0) {
@@ -131,11 +132,6 @@ std::vector<RunnableMonotask::Pull> UsageEstimator::ResolvePulls(
   for (const auto& [worker, bytes] : per_source) {
     pulls.push_back(RunnableMonotask::Pull{worker, bytes});
   }
-  // Deterministic order.
-  std::sort(pulls.begin(), pulls.end(),
-            [](const RunnableMonotask::Pull& a, const RunnableMonotask::Pull& b) {
-              return a.src < b.src;
-            });
   return pulls;
 }
 

@@ -283,7 +283,7 @@ void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
     // The worker died under us (submission dropped or the scheduler has not
     // recovered yet): retrying there is pointless.
     if (fault_stats_ != nullptr) {
-      ++fault_stats_->worker_loss_failures;
+      fault_stats_->RecordWorkerLossFailure();
     }
     if (trt.spec != nullptr) {
       // A live speculative copy keeps the task going: hand it the race
@@ -298,13 +298,13 @@ void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
       return;
     }
     if (fault_stats_ != nullptr) {
-      ++fault_stats_->escalations;
+      fault_stats_->RecordEscalation();
     }
     ResetTaskForReplacement(mt.task);
     return;
   }
   if (fault_stats_ != nullptr) {
-    ++fault_stats_->transient_failures;
+    fault_stats_->RecordTransientFailure();
   }
   if (mrt.attempts < max_monotask_attempts_) {
     // Capped exponential backoff on the same worker.
@@ -321,7 +321,7 @@ void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
     });
   } else {
     if (fault_stats_ != nullptr) {
-      ++fault_stats_->escalations;
+      fault_stats_->RecordEscalation();
     }
     ResetTaskForReplacement(mt.task);
   }
@@ -822,7 +822,7 @@ void JobManager::OnSpecMonotaskFailed(TaskId t, int idx) {
     // The copy was the only live execution (primary's worker died): escalate
     // like a worker loss so the task is re-placed from scratch.
     if (fault_stats_ != nullptr) {
-      ++fault_stats_->escalations;
+      fault_stats_->RecordEscalation();
     }
     ResetTaskForReplacement(t);
   }

@@ -31,10 +31,12 @@ class Tracer;
 class JobManagerListener {
  public:
   virtual ~JobManagerListener() = default;
-  virtual void OnTaskReady(JobId job, TaskId task) {}
-  virtual void OnTaskCompleted(JobId job, TaskId task) {}
-  virtual void OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) {}
-  virtual void OnJobFinished(JobId job) {}
+  virtual void OnTaskReady([[maybe_unused]] JobId job, [[maybe_unused]] TaskId task) {}
+  virtual void OnTaskCompleted([[maybe_unused]] JobId job, [[maybe_unused]] TaskId task) {}
+  virtual void OnMonotaskCompleted([[maybe_unused]] JobId job,
+                                   [[maybe_unused]] ResourceType type,
+                                   [[maybe_unused]] double input_bytes) {}
+  virtual void OnJobFinished([[maybe_unused]] JobId job) {}
 };
 
 enum class TaskState : int {

@@ -66,22 +66,12 @@ void Worker::Fail() {
               fl.trace_id);
   }
   inflight_.clear();
+  ledger_.ResetForFailure();
   cpu_busy_.Set(now, 0.0);
   cpu_alloc_.Set(now, 0.0);
   disk_busy_.Set(now, 0.0);
-  cpu_busy_now_ = 0.0;
-  cpu_alloc_now_ = 0.0;
-  disk_busy_now_ = 0.0;
-  mem_allocated_ = 0.0;
-  mem_actual_ = 0.0;
   mem_alloc_.Set(now, 0.0);
   mem_used_.Set(now, 0.0);
-  busy_cores_ = 0;
-  busy_disks_ = 0;
-  active_network_ = 0;
-  for (double& bytes : running_bytes_) {
-    bytes = 0.0;
-  }
 }
 
 void Worker::Recover() {
@@ -206,11 +196,11 @@ bool Worker::TryAllocateMemory(double bytes) {
   if (failed_) {
     return false;
   }
-  if (mem_allocated_ + bytes > config_.memory_bytes + 1.0) {
+  double allocated = 0.0;
+  if (!ledger_.TryAllocateMemory(bytes, config_.memory_bytes, &allocated)) {
     return false;
   }
-  mem_allocated_ += bytes;
-  mem_alloc_.Set(sim_->Now(), mem_allocated_);
+  mem_alloc_.Set(sim_->Now(), allocated);
   return true;
 }
 
@@ -218,27 +208,21 @@ void Worker::ReleaseMemory(double bytes) {
   if (failed_) {
     return;
   }
-  mem_allocated_ -= bytes;
-  CHECK_GE(mem_allocated_, -1.0) << "memory release underflow";
-  mem_allocated_ = std::max(mem_allocated_, 0.0);
-  mem_alloc_.Set(sim_->Now(), mem_allocated_);
+  mem_alloc_.Set(sim_->Now(), ledger_.ReleaseMemory(bytes));
 }
 
 void Worker::AddActualMemoryUse(double delta) {
   if (failed_) {
     return;
   }
-  mem_actual_ += delta;
-  mem_actual_ = std::max(mem_actual_, 0.0);
-  mem_used_.Set(sim_->Now(), mem_actual_);
+  mem_used_.Set(sim_->Now(), ledger_.AddActualMemoryUse(delta));
 }
 
 double Worker::ApproxProcessingTime(ResourceType r) const {
   if (r == ResourceType::kCpu && HasIdleCpu()) {
     return 0.0;
   }
-  const double pending =
-      queue(r).queued_bytes() + running_bytes_[static_cast<size_t>(r)];
+  const double pending = queue(r).queued_bytes() + ledger_.running_bytes(r);
   const double rate = ProcessingRate(r);
   if (rate <= 0.0) {
     return pending > 0.0 ? 1e18 : 0.0;
@@ -259,52 +243,50 @@ void Worker::AddCpuBusy(double delta) {
   if (failed_) {
     return;
   }
-  cpu_busy_now_ += delta;
-  cpu_busy_.Set(sim_->Now(), cpu_busy_now_);
+  cpu_busy_.Set(sim_->Now(), ledger_.AddOccupancy(OccupancyKind::kCpuBusy, delta));
 }
 
 void Worker::AddCpuAllocated(double delta) {
   if (failed_) {
     return;
   }
-  cpu_alloc_now_ += delta;
-  cpu_alloc_.Set(sim_->Now(), cpu_alloc_now_);
+  cpu_alloc_.Set(sim_->Now(), ledger_.AddOccupancy(OccupancyKind::kCpuAlloc, delta));
 }
 
 void Worker::AddDiskBusy(double delta) {
   if (failed_) {
     return;
   }
-  disk_busy_now_ += delta;
-  disk_busy_.Set(sim_->Now(), disk_busy_now_);
+  disk_busy_.Set(sim_->Now(), ledger_.AddOccupancy(OccupancyKind::kDiskBusy, delta));
+}
+
+int Worker::SlotLimit(ResourceType r) const {
+  switch (r) {
+    case ResourceType::kCpu:
+      return config_.cores;
+    case ResourceType::kNetwork:
+      return config_.network_concurrency;
+    case ResourceType::kDisk:
+      return config_.disks;
+  }
+  LOG(Fatal) << "unknown resource type";
+  return 0;
 }
 
 void Worker::PumpQueue(ResourceType r) {
-  while (true) {
-    int* counter = nullptr;
-    int limit = 0;
-    switch (r) {
-      case ResourceType::kCpu:
-        counter = &busy_cores_;
-        limit = config_.cores;
-        break;
-      case ResourceType::kNetwork:
-        counter = &active_network_;
-        limit = config_.network_concurrency;
-        break;
-      case ResourceType::kDisk:
-        counter = &busy_disks_;
-        limit = config_.disks;
-        break;
-    }
-    if (*counter >= limit || queue(r).Empty()) {
+  const int limit = SlotLimit(r);
+  while (!queue(r).Empty()) {
+    // Slot admission is a single atomic check-and-increment so two pumping
+    // threads can never oversubscribe the resource.
+    if (!ledger_.TryAcquireSlot(r, limit)) {
       return;
     }
     RunnableMonotask mt = queue(r).Pop();
     if (mt.cancel != nullptr && mt.cancel->cancelled) {
-      continue;  // Cancelled while queued; its resources were never charged.
+      // Cancelled while queued; its resources were never charged.
+      ledger_.ReleaseSlot(r);
+      continue;
     }
-    ++*counter;
     Execute(std::move(mt), /*counted=*/true);
   }
 }
@@ -312,7 +294,7 @@ void Worker::PumpQueue(ResourceType r) {
 void Worker::Execute(RunnableMonotask mt, bool counted) {
   const double now = sim_->Now();
   const ResourceType r = mt.type;
-  running_bytes_[static_cast<size_t>(r)] += mt.input_bytes;
+  ledger_.AddRunningBytes(r, mt.input_bytes);
   const double input_bytes = mt.input_bytes;
   const JobId job = mt.job;
   const MonotaskId mid = mt.id;
@@ -485,9 +467,7 @@ void Worker::SweepCancelled() {
 void Worker::DiscardCancelled(ResourceType r, double input_bytes, double elapsed,
                               bool counted, JobId job, MonotaskId monotask,
                               uint64_t trace_id, double done_bytes) {
-  running_bytes_[static_cast<size_t>(r)] -= input_bytes;
-  running_bytes_[static_cast<size_t>(r)] =
-      std::max(running_bytes_[static_cast<size_t>(r)], 0.0);
+  ledger_.AddRunningBytes(r, -input_bytes);
   if (tracer_ != nullptr) {
     tracer_->MonotaskFinished(sim_->Now(), trace_id, TraceEventKind::kCancelled, r, id_,
                               job, monotask, input_bytes, elapsed, counted);
@@ -496,17 +476,7 @@ void Worker::DiscardCancelled(ResourceType r, double input_bytes, double elapsed
     waste_sink_(r, done_bytes, elapsed);
   }
   if (counted) {
-    switch (r) {
-      case ResourceType::kCpu:
-        --busy_cores_;
-        break;
-      case ResourceType::kNetwork:
-        --active_network_;
-        break;
-      case ResourceType::kDisk:
-        --busy_disks_;
-        break;
-    }
+    ledger_.ReleaseSlot(r);
     PumpQueue(r);
   }
 }
@@ -515,9 +485,7 @@ void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, 
                             JobId job, MonotaskId monotask, uint64_t trace_id,
                             std::function<void()> on_complete,
                             std::function<void()> on_failure) {
-  running_bytes_[static_cast<size_t>(r)] -= input_bytes;
-  running_bytes_[static_cast<size_t>(r)] =
-      std::max(running_bytes_[static_cast<size_t>(r)], 0.0);
+  ledger_.AddRunningBytes(r, -input_bytes);
   // Transient failure: the monotask consumed its resources but produced no
   // result. Injected (scheduled) failures take precedence over the
   // probabilistic profile.
@@ -541,23 +509,13 @@ void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, 
       on_failure();
     }
   } else {
-    ++completed_[static_cast<size_t>(r)];
+    ledger_.IncrementCompleted(r);
     if (on_complete) {
       on_complete();
     }
   }
   if (counted) {
-    switch (r) {
-      case ResourceType::kCpu:
-        --busy_cores_;
-        break;
-      case ResourceType::kNetwork:
-        --active_network_;
-        break;
-      case ResourceType::kDisk:
-        --busy_disks_;
-        break;
-    }
+    ledger_.ReleaseSlot(r);
     PumpQueue(r);
   }
 }

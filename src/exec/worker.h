@@ -22,6 +22,7 @@
 #include "src/common/rng.h"
 #include "src/common/time_series.h"
 #include "src/exec/monotask_queue.h"
+#include "src/exec/occupancy.h"
 #include "src/net/flow_simulator.h"
 #include "src/sim/simulator.h"
 
@@ -127,7 +128,7 @@ class Worker {
   void ReleaseMemory(double bytes);
   // Actual consumption, for UE_mem (may be below the allocated estimate).
   void AddActualMemoryUse(double delta);
-  double free_memory() const { return config_.memory_bytes - mem_allocated_; }
+  double free_memory() const { return config_.memory_bytes - ledger_.mem_allocated(); }
   double memory_capacity() const { return config_.memory_bytes; }
 
   // --- Load reporting for the scheduler. ---
@@ -138,8 +139,12 @@ class Worker {
   // Overall processing rate for resource r in bytes/s (CPU rate is per-core
   // rate times core count).
   double ProcessingRate(ResourceType r) const;
-  bool HasIdleCpu() const { return busy_cores_ < config_.cores; }
-  int idle_cores() const { return config_.cores - busy_cores_; }
+  bool HasIdleCpu() const {
+    return ledger_.slots_in_use(ResourceType::kCpu) < config_.cores;
+  }
+  int idle_cores() const {
+    return config_.cores - ledger_.slots_in_use(ResourceType::kCpu);
+  }
   size_t QueueLength(ResourceType r) const { return queue(r).Size(); }
 
   // --- Raw occupancy hooks for baseline runtimes. ---
@@ -158,9 +163,7 @@ class Worker {
   double downlink() const { return net_->downlink(id_); }
 
   // Completed monotask counters (per resource), for tests.
-  int64_t completed(ResourceType r) const {
-    return completed_[static_cast<size_t>(r)];
-  }
+  int64_t completed(ResourceType r) const { return ledger_.completed(r); }
 
   // --- Tracing (src/obs). ---
   // Attaches an event tracer (not owned; may be null). Every monotask
@@ -168,14 +171,16 @@ class Worker {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   // Current occupancy, for invariant checks in tests.
-  int busy_cores() const { return busy_cores_; }
-  int busy_disks() const { return busy_disks_; }
-  int active_network() const { return active_network_; }
-  double running_bytes(ResourceType r) const {
-    return running_bytes_[static_cast<size_t>(r)];
-  }
-  double cpu_busy_now() const { return cpu_busy_now_; }
-  double disk_busy_now() const { return disk_busy_now_; }
+  int busy_cores() const { return ledger_.slots_in_use(ResourceType::kCpu); }
+  int busy_disks() const { return ledger_.slots_in_use(ResourceType::kDisk); }
+  int active_network() const { return ledger_.slots_in_use(ResourceType::kNetwork); }
+  double running_bytes(ResourceType r) const { return ledger_.running_bytes(r); }
+  double cpu_busy_now() const { return ledger_.occupancy(OccupancyKind::kCpuBusy); }
+  double disk_busy_now() const { return ledger_.occupancy(OccupancyKind::kDiskBusy); }
+
+  // The annotated occupancy ledger (DESIGN.md section 10); exposed so tests
+  // can hammer it from multiple threads under TSan.
+  OccupancyLedger& ledger() { return ledger_; }
 
  private:
   struct RateMonitor {
@@ -215,6 +220,8 @@ class Worker {
     return queues_[static_cast<size_t>(r)];
   }
 
+  // Concurrency limit for resource `r` (cores, disk arms, network slots).
+  int SlotLimit(ResourceType r) const;
   // Starts queued monotasks while concurrency allows.
   void PumpQueue(ResourceType r);
   // Runs one monotask (resource already accounted by the caller).
@@ -265,14 +272,11 @@ class Worker {
   double hb_interval_ = 0.0;
   std::function<void(WorkerId)> hb_sink_;
   std::function<bool()> hb_active_;
-  int busy_cores_ = 0;
-  int busy_disks_ = 0;
-  int active_network_ = 0;
-  double running_bytes_[kNumMonotaskResources] = {0.0, 0.0, 0.0};
-  int64_t completed_[kNumMonotaskResources] = {0, 0, 0};
 
-  double mem_allocated_ = 0.0;
-  double mem_actual_ = 0.0;
+  // Concurrency slots, running bytes, completion counters, memory accounting
+  // and the occupancy mirrors all live in the internally synchronized ledger
+  // (DESIGN.md section 10); no unlocked access path exists.
+  OccupancyLedger ledger_;
 
   RateMonitor rates_[kNumMonotaskResources];
 
@@ -281,11 +285,6 @@ class Worker {
   StepTracker mem_used_;
   StepTracker mem_alloc_;
   StepTracker disk_busy_;
-  // Extra cpu busy/alloc contributed by baseline runtimes, tracked inside
-  // the same StepTrackers; these doubles mirror current values.
-  double cpu_busy_now_ = 0.0;
-  double cpu_alloc_now_ = 0.0;
-  double disk_busy_now_ = 0.0;
 };
 
 }  // namespace ursa

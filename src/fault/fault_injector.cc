@@ -94,7 +94,7 @@ void FaultInjector::Apply(const FaultEvent& event) {
       }
       worker.Fail();
       if (stats_ != nullptr) {
-        ++stats_->crashes_injected;
+        stats_->RecordCrashInjected();
       }
       break;
     case FaultKind::kCrashRecover:
@@ -103,26 +103,26 @@ void FaultInjector::Apply(const FaultEvent& event) {
       }
       worker.Fail();
       if (stats_ != nullptr) {
-        ++stats_->crashes_injected;
+        stats_->RecordCrashInjected();
       }
       sim_->Schedule(event.downtime, [this, w = event.worker] {
         cluster_->worker(w).Recover();
         if (stats_ != nullptr) {
-          ++stats_->recoveries_injected;
+          stats_->RecordRecoveryInjected();
         }
       });
       break;
     case FaultKind::kTransient:
       worker.InjectTransientFailures(event.count);
       if (stats_ != nullptr) {
-        stats_->transients_injected += event.count;
+        stats_->RecordTransientsInjected(event.count);
       }
       break;
     case FaultKind::kDegrade: {
       CHECK_GT(event.factor, 0.0);
       worker.set_speed_factor(event.factor);
       if (stats_ != nullptr) {
-        ++stats_->degrades_injected;
+        stats_->RecordDegradeInjected();
       }
       sim_->Schedule(event.duration, [this, w = event.worker] {
         cluster_->worker(w).set_speed_factor(1.0);

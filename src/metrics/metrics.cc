@@ -122,7 +122,7 @@ double MetricsCollector::StragglerTimeRatio(
   return 100.0 * ratio_sum / static_cast<double>(jcts.size());
 }
 
-void MetricsCollector::PrintFaultReport(const FaultStats& stats, const std::string& title) {
+void MetricsCollector::PrintFaultReport(const FaultCounters& stats, const std::string& title) {
   if (!stats.any_faults()) {
     return;
   }

@@ -75,7 +75,7 @@ class MetricsCollector {
   // Prints the fault-tolerance summary of one run (injected faults,
   // detection latency, retries, lineage-recovery savings). No-op when the
   // run had no faults.
-  static void PrintFaultReport(const FaultStats& stats, const std::string& title);
+  static void PrintFaultReport(const FaultCounters& stats, const std::string& title);
 };
 
 }  // namespace ursa

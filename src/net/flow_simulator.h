@@ -18,7 +18,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/common/time_series.h"
@@ -101,7 +101,10 @@ class FlowSimulator {
 
   Simulator* sim_;
   std::vector<Node> nodes_;
-  std::unordered_map<FlowId, Flow> flows_;
+  // Ordered by FlowId: progressive filling and completion callbacks iterate
+  // this map, so its order decides float accumulation and callback firing
+  // order (detlint rule `no-unordered-iteration`).
+  std::map<FlowId, Flow> flows_;
   FlowId next_id_ = 1;
   double last_progress_time_ = 0.0;
   EventId completion_event_ = kInvalidEventId;

@@ -1,11 +1,11 @@
 #include "src/scheduler/ursa_scheduler.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <map>
 
 #include "src/common/logging.h"
+#include "src/common/wallclock.h"
 #include "src/obs/trace.h"
 
 namespace ursa {
@@ -27,7 +27,7 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
   if (config_.fault.enable_heartbeat_detection) {
     detector_ = std::make_unique<FailureDetector>(sim_, cluster_, config_.fault.detector);
     detector_->set_on_death(
-        [this](WorkerId w, double silence) { HandleWorkerFailure(w); });
+        [this](WorkerId w, [[maybe_unused]] double silence) { HandleWorkerFailure(w); });
     detector_->set_on_rejoin([this](WorkerId w) { OnWorkerRejoined(w); });
   }
   if (config_.spec.enabled) {
@@ -58,9 +58,13 @@ void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
 
   auto entry = std::make_unique<JobEntry>();
   entry->job = std::move(job);
-  waiting_admission_.push_back(entry->job->id);
+  const JobId id = entry->job->id;
   jobs_.push_back(std::move(entry));
-  ++total_jobs_;
+  {
+    MutexLock lock(state_mu_);
+    waiting_admission_.push_back(id);
+    ++total_jobs_;
+  }
   TryAdmitJobs();
   EnsureTickScheduled();
 }
@@ -122,7 +126,7 @@ int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
       }
       if (r.tasks_reset > 0) {
         fault_stats_.RecordTasksReset(now, r.tasks_reset);
-        fault_stats_.full_restart_equivalent_tasks += r.tasks_started_before;
+        fault_stats_.RecordFullRestartEquivalentTasks(r.tasks_started_before);
         ++affected;
       }
     } else if (entry->jm->DependsOnWorker(worker_id)) {
@@ -139,8 +143,11 @@ void UrsaScheduler::OnWorkerRejoined(WorkerId worker_id) {
   if (tracer_ != nullptr) {
     tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kRejoin, worker_id);
   }
-  // The worker re-registered empty; the next tick may place tasks on it.
-  placement_dirty_ = true;
+  {
+    // The worker re-registered empty; the next tick may place tasks on it.
+    MutexLock lock(state_mu_);
+    placement_dirty_ = true;
+  }
   EnsureTickScheduled();
 }
 
@@ -166,12 +173,18 @@ void UrsaScheduler::FullRestart(JobEntry& entry) {
   entry.jm->Abort();
   aborted_jms_.push_back(std::move(entry.jm));
   StartJobManager(entry);
-  ++total_restarts_;
-  ++fault_stats_.full_restarts;
+  {
+    MutexLock lock(state_mu_);
+    ++total_restarts_;
+  }
+  fault_stats_.RecordFullRestart();
 }
 
-void UrsaScheduler::OnTaskReady(JobId job, TaskId task) {
-  placement_dirty_ = true;
+void UrsaScheduler::OnTaskReady([[maybe_unused]] JobId job, [[maybe_unused]] TaskId task) {
+  {
+    MutexLock lock(state_mu_);
+    placement_dirty_ = true;
+  }
   EnsureTickScheduled();
 }
 
@@ -181,16 +194,21 @@ void UrsaScheduler::OnTaskCompleted(JobId job, TaskId task) {
   }
 }
 
-void UrsaScheduler::OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) {}
+void UrsaScheduler::OnMonotaskCompleted([[maybe_unused]] JobId job,
+                                        [[maybe_unused]] ResourceType type,
+                                        [[maybe_unused]] double input_bytes) {}
 
 void UrsaScheduler::OnJobFinished(JobId job_id) {
   JobEntry& entry = *jobs_[static_cast<size_t>(job_id)];
   CHECK(entry.admitted && !entry.finished);
   entry.finished = true;
-  reserved_memory_ -= entry.job->spec.declared_memory_bytes;
-  reserved_memory_ = std::max(reserved_memory_, 0.0);
-  --active_jobs_;
-  ++finished_jobs_;
+  {
+    MutexLock lock(state_mu_);
+    reserved_memory_ -= entry.job->spec.declared_memory_bytes;
+    reserved_memory_ = std::max(reserved_memory_, 0.0);
+    --active_jobs_;
+    ++finished_jobs_;
+  }
   JobRecord& record = records_[static_cast<size_t>(job_id)];
   record.finish_time = sim_->Now();
   record.cpu_seconds = entry.jm->cpu_seconds_used();
@@ -206,86 +224,112 @@ void UrsaScheduler::OnJobFinished(JobId job_id) {
 }
 
 void UrsaScheduler::EnsureTickScheduled() {
-  if (tick_scheduled_) {
-    return;
+  {
+    MutexLock lock(state_mu_);
+    if (tick_scheduled_) {
+      return;
+    }
+    tick_scheduled_ = true;
   }
-  tick_scheduled_ = true;
   sim_->Schedule(config_.scheduling_interval, [this] { Tick(); });
   if (detector_ != nullptr) {
     // (Re)start heartbeats and sweeps; both stop when the cluster goes idle
     // so the event queue can drain.
-    detector_->Activate([this] { return active_jobs_ > 0 || !waiting_admission_.empty(); });
+    detector_->Activate([this] {
+      MutexLock lock(state_mu_);
+      return active_jobs_ > 0 || !waiting_admission_.empty();
+    });
   }
 }
 
 void UrsaScheduler::Tick() {
-  tick_scheduled_ = false;
-  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    MutexLock lock(state_mu_);
+    tick_scheduled_ = false;
+  }
+  const WallTimer wall;
   TryAdmitJobs();
   RefreshPriorities();
   const PlacementStats stats = RunPlacement();
   RunSpeculation();
   if (tracer_ != nullptr) {
-    const double wall_us = std::chrono::duration<double, std::micro>(
-                               std::chrono::steady_clock::now() - wall_start)
-                               .count();
-    tracer_->SchedulerTick(sim_->Now(), stats.candidates, stats.placed, wall_us);
+    tracer_->SchedulerTick(sim_->Now(), stats.candidates, stats.placed,
+                           wall.ElapsedMicros());
   }
-  if (active_jobs_ > 0 || !waiting_admission_.empty()) {
+  bool more = false;
+  {
+    MutexLock lock(state_mu_);
+    more = active_jobs_ > 0 || !waiting_admission_.empty();
+  }
+  if (more) {
     EnsureTickScheduled();
   }
 }
 
 void UrsaScheduler::TryAdmitJobs() {
-  if (waiting_admission_.empty()) {
-    return;
-  }
-  // Admission order follows the job-ordering policy when JO is enabled,
-  // otherwise plain submission order.
-  if (config_.enable_job_ordering && config_.policy == OrderingPolicy::kSrjf) {
-    // Rank by expected remaining work against the total load of admitted +
-    // waiting jobs.
-    std::array<double, kNumMonotaskResources> total_load = {0.0, 0.0, 0.0};
-    for (const auto& entry : jobs_) {
-      if (entry->finished) {
-        continue;
-      }
-      const auto work = entry->admitted ? entry->jm->remaining_work()
-                                        : entry->job->plan.ExpectedWorkByResource();
-      for (size_t r = 0; r < work.size(); ++r) {
-        total_load[r] += work[r];
-      }
+  {
+    MutexLock lock(state_mu_);
+    if (waiting_admission_.empty()) {
+      return;
     }
-    std::stable_sort(waiting_admission_.begin(), waiting_admission_.end(),
-                     [&](JobId a, JobId b) {
-                       const auto ra = jobs_[static_cast<size_t>(a)]
-                                           ->job->plan.ExpectedWorkByResource();
-                       const auto rb = jobs_[static_cast<size_t>(b)]
-                                           ->job->plan.ExpectedWorkByResource();
-                       return SrjfRank(ra, total_load) < SrjfRank(rb, total_load);
-                     });
-  } else {
-    std::stable_sort(waiting_admission_.begin(), waiting_admission_.end(),
-                     [&](JobId a, JobId b) {
-                       return jobs_[static_cast<size_t>(a)]->job->submit_time <
-                              jobs_[static_cast<size_t>(b)]->job->submit_time;
-                     });
+    // Admission order follows the job-ordering policy when JO is enabled,
+    // otherwise plain submission order.
+    if (config_.enable_job_ordering && config_.policy == OrderingPolicy::kSrjf) {
+      // Rank by expected remaining work against the total load of admitted +
+      // waiting jobs.
+      std::array<double, kNumMonotaskResources> total_load = {0.0, 0.0, 0.0};
+      for (const auto& entry : jobs_) {
+        if (entry->finished) {
+          continue;
+        }
+        const auto work = entry->admitted ? entry->jm->remaining_work()
+                                          : entry->job->plan.ExpectedWorkByResource();
+        for (size_t r = 0; r < work.size(); ++r) {
+          total_load[r] += work[r];
+        }
+      }
+      std::stable_sort(waiting_admission_.begin(), waiting_admission_.end(),
+                       [&](JobId a, JobId b) {
+                         const auto ra = jobs_[static_cast<size_t>(a)]
+                                             ->job->plan.ExpectedWorkByResource();
+                         const auto rb = jobs_[static_cast<size_t>(b)]
+                                             ->job->plan.ExpectedWorkByResource();
+                         return SrjfRank(ra, total_load) < SrjfRank(rb, total_load);
+                       });
+    } else {
+      std::stable_sort(waiting_admission_.begin(), waiting_admission_.end(),
+                       [&](JobId a, JobId b) {
+                         return jobs_[static_cast<size_t>(a)]->job->submit_time <
+                                jobs_[static_cast<size_t>(b)]->job->submit_time;
+                       });
+    }
   }
   const double memory_budget =
       cluster_->total_memory() * config_.admission_memory_fraction;
-  // Strict head-of-line admission prevents starvation of large jobs.
-  while (!waiting_admission_.empty()) {
-    const JobId id = waiting_admission_.front();
-    JobEntry& entry = *jobs_[static_cast<size_t>(id)];
-    if (reserved_memory_ + entry.job->spec.declared_memory_bytes > memory_budget) {
-      break;
+  // Strict head-of-line admission prevents starvation of large jobs. Each
+  // admission commits under the lock, but StartJobManager runs with it
+  // released: starting a job re-enters the scheduler (ready-task callbacks),
+  // which must be able to take state_mu_ itself.
+  while (true) {
+    JobEntry* admitted = nullptr;
+    {
+      MutexLock lock(state_mu_);
+      if (waiting_admission_.empty()) {
+        break;
+      }
+      const JobId id = waiting_admission_.front();
+      JobEntry& entry = *jobs_[static_cast<size_t>(id)];
+      if (reserved_memory_ + entry.job->spec.declared_memory_bytes > memory_budget) {
+        break;
+      }
+      waiting_admission_.erase(waiting_admission_.begin());
+      reserved_memory_ += entry.job->spec.declared_memory_bytes;
+      entry.admitted = true;
+      ++active_jobs_;
+      records_[static_cast<size_t>(id)].admit_time = sim_->Now();
+      admitted = &entry;
     }
-    waiting_admission_.erase(waiting_admission_.begin());
-    reserved_memory_ += entry.job->spec.declared_memory_bytes;
-    entry.admitted = true;
-    ++active_jobs_;
-    records_[static_cast<size_t>(id)].admit_time = sim_->Now();
-    StartJobManager(entry);
+    StartJobManager(*admitted);
   }
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/baselines/packing_schedulers.h"
+#include "src/common/mutex.h"
 #include "src/exec/cluster.h"
 #include "src/exec/job_manager.h"
 #include "src/fault/failure_detector.h"
@@ -82,11 +83,15 @@ class UrsaScheduler : public JobManagerListener {
   // Returns the number of jobs affected; idempotent — a second call on an
   // already-failed worker returns 0 and changes nothing.
   int FailWorker(WorkerId worker);
-  int total_restarts() const { return total_restarts_; }
+  int total_restarts() const EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    return total_restarts_;
+  }
 
-  // Recovery/retry/detection counters for this run (also written to by the
-  // failure detector, the job managers and the FaultInjector).
-  const FaultStats& fault_stats() const { return fault_stats_; }
+  // Snapshot of the recovery/retry/detection counters for this run (also
+  // written to by the failure detector, the job managers and the
+  // FaultInjector).
+  FaultCounters fault_stats() const { return fault_stats_.Snapshot(); }
   FaultStats* mutable_fault_stats() { return &fault_stats_; }
   // Null when heartbeat detection is disabled.
   const FailureDetector* failure_detector() const { return detector_.get(); }
@@ -99,9 +104,18 @@ class UrsaScheduler : public JobManagerListener {
   void OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) override;
   void OnJobFinished(JobId job) override;
 
-  bool AllJobsFinished() const { return finished_jobs_ == total_jobs_; }
-  int finished_jobs() const { return finished_jobs_; }
-  int total_jobs() const { return total_jobs_; }
+  bool AllJobsFinished() const EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    return finished_jobs_ == total_jobs_;
+  }
+  int finished_jobs() const EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    return finished_jobs_;
+  }
+  int total_jobs() const EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    return total_jobs_;
+  }
 
   const std::vector<JobRecord>& job_records() const { return records_; }
   const JobManager* job_manager(JobId id) const;
@@ -191,7 +205,6 @@ class UrsaScheduler : public JobManagerListener {
   // workers still hold callbacks into them (all no-ops thanks to their
   // liveness tokens). Reclaimed when the owning job finishes.
   std::vector<std::unique_ptr<JobManager>> aborted_jms_;
-  std::vector<JobId> waiting_admission_;         // Policy-ordered on use.
   std::vector<JobRecord> records_;
 
   std::unique_ptr<PackingState> packing_;  // Non-null for packing placements.
@@ -205,13 +218,21 @@ class UrsaScheduler : public JobManagerListener {
   // FailWorker() call and a later detector declaration of the same crash
   // trigger recovery exactly once.
   std::vector<int> handled_epoch_;
-  double reserved_memory_ = 0.0;
-  int total_jobs_ = 0;
-  int total_restarts_ = 0;
-  int finished_jobs_ = 0;
-  int active_jobs_ = 0;
-  bool tick_scheduled_ = false;
-  bool placement_dirty_ = false;
+
+  // Guards the admission queue and tick/progress counters — the scheduler
+  // state concurrent completion callbacks will race on once the simulator
+  // core goes parallel. Top of the lock hierarchy (src/common/mutex.h):
+  // never held while calling into job managers, workers, the detector or
+  // the simulator.
+  mutable Mutex state_mu_;
+  std::vector<JobId> waiting_admission_ GUARDED_BY(state_mu_);  // Policy-ordered on use.
+  double reserved_memory_ GUARDED_BY(state_mu_) = 0.0;
+  int total_jobs_ GUARDED_BY(state_mu_) = 0;
+  int total_restarts_ GUARDED_BY(state_mu_) = 0;
+  int finished_jobs_ GUARDED_BY(state_mu_) = 0;
+  int active_jobs_ GUARDED_BY(state_mu_) = 0;
+  bool tick_scheduled_ GUARDED_BY(state_mu_) = false;
+  bool placement_dirty_ GUARDED_BY(state_mu_) = false;
 };
 
 }  // namespace ursa

@@ -7,6 +7,7 @@
 namespace ursa {
 
 EventId EventQueue::Push(double when, Callback cb) {
+  MutexLock lock(mu_);
   const EventId id = next_id_++;
   heap_.push(Entry{when, id});
   callbacks_.emplace(id, std::move(cb));
@@ -14,6 +15,7 @@ EventId EventQueue::Push(double when, Callback cb) {
 }
 
 bool EventQueue::Cancel(EventId id) {
+  MutexLock lock(mu_);
   auto it = callbacks_.find(id);
   if (it == callbacks_.end()) {
     return false;
@@ -23,7 +25,7 @@ bool EventQueue::Cancel(EventId id) {
   return true;
 }
 
-void EventQueue::DropCancelledHead() {
+void EventQueue::DropCancelledHead() const {
   while (!heap_.empty()) {
     auto it = cancelled_.find(heap_.top().id);
     if (it == cancelled_.end()) {
@@ -35,12 +37,14 @@ void EventQueue::DropCancelledHead() {
 }
 
 bool EventQueue::Empty() const {
-  const_cast<EventQueue*>(this)->DropCancelledHead();
+  MutexLock lock(mu_);
+  DropCancelledHead();
   return heap_.empty();
 }
 
 double EventQueue::NextTime() const {
-  const_cast<EventQueue*>(this)->DropCancelledHead();
+  MutexLock lock(mu_);
+  DropCancelledHead();
   if (heap_.empty()) {
     return std::numeric_limits<double>::infinity();
   }
@@ -48,6 +52,7 @@ double EventQueue::NextTime() const {
 }
 
 EventQueue::Fired EventQueue::Pop() {
+  MutexLock lock(mu_);
   DropCancelledHead();
   CHECK(!heap_.empty());
   const Entry top = heap_.top();
@@ -57,6 +62,11 @@ EventQueue::Fired EventQueue::Pop() {
   Fired fired{top.when, top.id, std::move(it->second)};
   callbacks_.erase(it);
   return fired;
+}
+
+size_t EventQueue::PendingCount() const {
+  MutexLock lock(mu_);
+  return heap_.size() - cancelled_.size();
 }
 
 }  // namespace ursa

@@ -1,6 +1,12 @@
 // Priority queue of timestamped events with stable ordering and O(log n)
 // lazy cancellation. Ties at the same timestamp fire in scheduling order,
 // which makes simulations deterministic for a fixed seed.
+//
+// Internally synchronized (DESIGN.md section 10): every public method
+// acquires `mu_`, and the lock is never held while an event callback runs
+// (Pop() hands the callback to the caller). The event queue is the innermost
+// lock of the repo-wide hierarchy, so any component may call into it while
+// holding its own lock.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
@@ -10,6 +16,8 @@
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
+
+#include "src/common/mutex.h"
 
 namespace ursa {
 
@@ -22,14 +30,14 @@ class EventQueue {
 
   // Enqueues `cb` to fire at absolute time `when`. Returns a handle usable
   // with Cancel().
-  EventId Push(double when, Callback cb);
+  EventId Push(double when, Callback cb) EXCLUDES(mu_);
 
   // Cancels a pending event. Cancelling an already-fired or already-cancelled
   // event is a no-op; returns whether the event was actually pending.
-  bool Cancel(EventId id);
+  bool Cancel(EventId id) EXCLUDES(mu_);
 
-  bool Empty() const;
-  double NextTime() const;
+  bool Empty() const EXCLUDES(mu_);
+  double NextTime() const EXCLUDES(mu_);
 
   // Removes and returns the earliest event. Must not be called when Empty().
   struct Fired {
@@ -37,9 +45,9 @@ class EventQueue {
     EventId id;
     Callback cb;
   };
-  Fired Pop();
+  Fired Pop() EXCLUDES(mu_);
 
-  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+  size_t PendingCount() const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -55,13 +63,16 @@ class EventQueue {
     }
   };
 
-  void DropCancelledHead();
+  // Lazily drops cancelled entries from the heap head; `mutable` members let
+  // the const observers (Empty, NextTime) share it without const_cast.
+  void DropCancelledHead() const REQUIRES(mu_);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  mutable Mutex mu_;
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_ GUARDED_BY(mu_);
+  mutable std::unordered_set<EventId> cancelled_ GUARDED_BY(mu_);
   // Callbacks stored out-of-heap so Entry stays trivially copyable.
-  std::unordered_map<EventId, Callback> callbacks_;
-  EventId next_id_ = 1;
+  std::unordered_map<EventId, Callback> callbacks_ GUARDED_BY(mu_);
+  EventId next_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace ursa

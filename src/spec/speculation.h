@@ -13,6 +13,7 @@
 #ifndef SRC_SPEC_SPECULATION_H_
 #define SRC_SPEC_SPECULATION_H_
 
+#include "src/common/mutex.h"
 #include "src/dag/types.h"
 #include "src/fault/fault_stats.h"
 #include "src/spec/robust_stats.h"
@@ -65,33 +66,49 @@ class SpeculationManager {
   SpeculationManager& operator=(const SpeculationManager&) = delete;
 
   const SpeculationConfig& config() const { return config_; }
-  int active() const { return active_; }
+  int active() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return active_;
+  }
 
   // True when the budget admits one more live copy given `running_tasks`
   // currently placed primaries.
-  bool CanLaunch(int running_tasks) const {
+  bool CanLaunch(int running_tasks) const EXCLUDES(mu_) {
     if (!config_.enabled || config_.budget_fraction <= 0.0 || running_tasks <= 0) {
       return false;
     }
     const int cap = static_cast<int>(config_.budget_fraction * running_tasks);
+    MutexLock lock(mu_);
     return active_ < (cap > 0 ? cap : 1);
   }
 
-  void OnLaunched() {
-    ++active_;
-    ++stats_->speculations_launched;
+  void OnLaunched() EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      ++active_;
+    }
+    stats_->RecordSpeculationLaunched();
   }
-  void OnWon() {
-    --active_;
-    ++stats_->speculations_won;
+  void OnWon() EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      --active_;
+    }
+    stats_->RecordSpeculationWon();
   }
-  void OnLost() {
-    --active_;
-    ++stats_->speculations_lost;
+  void OnLost() EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      --active_;
+    }
+    stats_->RecordSpeculationLost();
   }
-  void OnCancelled() {
-    --active_;
-    ++stats_->speculations_cancelled;
+  void OnCancelled() EXCLUDES(mu_) {
+    {
+      MutexLock lock(mu_);
+      --active_;
+    }
+    stats_->RecordSpeculationCancelled();
   }
 
   // Duplicate work discarded by a cancellation: `bytes` processed by the
@@ -103,7 +120,8 @@ class SpeculationManager {
  private:
   SpeculationConfig config_;
   FaultStats* stats_;
-  int active_ = 0;  // Live speculative copies across all jobs.
+  mutable Mutex mu_;
+  int active_ GUARDED_BY(mu_) = 0;  // Live speculative copies across all jobs.
 };
 
 // Detection predicate: is a task that has been running for `elapsed` seconds

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <sstream>
-#include <unordered_map>
 
 #include "src/common/logging.h"
 #include "src/runtime/local_runtime.h"
@@ -344,8 +344,9 @@ class PlanBuilder {
           ConcatSlices(*std::any_cast<std::vector<std::any>>(inputs[0]));
       const std::vector<SqlRow> right_rows =
           ConcatSlices(*std::any_cast<std::vector<std::any>>(inputs[1]));
-      std::unordered_multimap<std::string, const SqlRow*> build;
-      build.reserve(right_rows.size());
+      // Ordered so rows joining the same key emit in build-insertion order on
+      // every platform (detlint rule `no-unordered-iteration`).
+      std::multimap<std::string, const SqlRow*> build;
       for (const SqlRow& row : right_rows) {
         build.emplace(ToDisplayString(row[static_cast<size_t>(right_key)]), &row);
       }
@@ -439,7 +440,9 @@ class PlanBuilder {
     MaybeSetUdf(partial_op, RegisterUdf([key_columns, aggs,
                                          out_partitions](const UdfInputs& inputs) {
       const auto& rows = *std::any_cast<std::vector<SqlRow>>(inputs[0]);
-      std::unordered_map<std::string, PartialGroup> groups;
+      // Ordered so per-bucket group order (and thus float merge order
+      // downstream) is identical across platforms.
+      std::map<std::string, PartialGroup> groups;
       for (const SqlRow& row : rows) {
         const std::string key = GroupKey(row, key_columns);
         PartialGroup& group = groups[key];
@@ -484,7 +487,9 @@ class PlanBuilder {
     MaybeSetUdf(final_op, RegisterUdf([key_columns, aggs, layout,
                                        global](const UdfInputs& inputs) {
       const auto& slices = *std::any_cast<std::vector<std::any>>(inputs[0]);
-      std::unordered_map<std::string, PartialGroup> merged;
+      // Ordered: the rows emitted below follow map order, making unordered
+      // (no ORDER BY) aggregate results deterministic.
+      std::map<std::string, PartialGroup> merged;
       for (const std::any& slice : slices) {
         for (const PartialGroup& group : *std::any_cast<std::vector<PartialGroup>>(&slice)) {
           std::string key;

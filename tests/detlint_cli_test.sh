@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Exit-code contract of the detlint CLI (tools/detlint/main.cc):
+#   0 — scanned clean (modulo allowlist)
+#   1 — findings reported
+#   2 — usage / IO error (bad flag, unreadable root, stale allowlist)
+#
+# Usage: detlint_cli_test.sh <path-to-detlint> <repo-root>
+set -u
+
+if [ "$#" -ne 2 ] || [ ! -x "$1" ]; then
+  echo "usage: $0 <path-to-detlint> <repo-root>" >&2
+  exit 2
+fi
+DETLINT="$1"
+REPO_ROOT="$2"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+expect_exit() {
+  local want="$1"
+  shift
+  local got=0
+  "$@" >"${WORKDIR}/out.txt" 2>&1 || got=$?
+  if [ "${got}" -ne "${want}" ]; then
+    echo "--- output ---" >&2
+    cat "${WORKDIR}/out.txt" >&2
+    fail "expected exit ${want}, got ${got}: $*"
+  fi
+}
+
+# 0: the real tree is clean against the checked-in allowlist.
+expect_exit 0 "${DETLINT}" --repo-root "${REPO_ROOT}" \
+  --allowlist "${REPO_ROOT}/.detlint-allowlist" src
+
+# 1: a planted banned pattern is a finding.
+mkdir -p "${WORKDIR}/tree/src/exec"
+printf 'int x = rand();\n' >"${WORKDIR}/tree/src/exec/bad.cc"
+expect_exit 1 "${DETLINT}" --repo-root "${WORKDIR}/tree" src
+grep -q "raw-random" "${WORKDIR}/out.txt" || fail "finding not reported"
+
+# 0: the same pattern under an inline suppression scans clean.
+printf 'int x = rand();  // detlint: allow(raw-random)\n' \
+  >"${WORKDIR}/tree/src/exec/bad.cc"
+expect_exit 0 "${DETLINT}" --repo-root "${WORKDIR}/tree" src
+
+# 2: stale allowlist entries are a hard error, not a pass.
+printf 'src/exec/bad.cc:wallclock\n' >"${WORKDIR}/tree/allow"
+expect_exit 2 "${DETLINT}" --repo-root "${WORKDIR}/tree" \
+  --allowlist "${WORKDIR}/tree/allow" src
+
+# 2: usage errors.
+expect_exit 2 "${DETLINT}"
+expect_exit 2 "${DETLINT}" --no-such-flag src
+expect_exit 2 "${DETLINT}" --repo-root "${WORKDIR}/tree" no/such/root
+
+echo "PASS: detlint exit codes 0/1/2 behave as documented"
+exit 0

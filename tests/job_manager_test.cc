@@ -10,10 +10,13 @@ namespace {
 
 class RecordingListener : public JobManagerListener {
  public:
-  void OnTaskReady(JobId job, TaskId task) override { ready.push_back(task); }
-  void OnTaskCompleted(JobId job, TaskId task) override { completed.push_back(task); }
-  void OnJobFinished(JobId job) override { finished = true; }
-  void OnMonotaskCompleted(JobId job, ResourceType type, double bytes) override {
+  void OnTaskReady([[maybe_unused]] JobId job, TaskId task) override { ready.push_back(task); }
+  void OnTaskCompleted([[maybe_unused]] JobId job, TaskId task) override {
+    completed.push_back(task);
+  }
+  void OnJobFinished([[maybe_unused]] JobId job) override { finished = true; }
+  void OnMonotaskCompleted([[maybe_unused]] JobId job, [[maybe_unused]] ResourceType type,
+                           [[maybe_unused]] double bytes) override {
     ++monotasks;
   }
 

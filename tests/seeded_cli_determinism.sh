@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Seeded byte-identical determinism gate (DESIGN.md section 10): two runs of
+# ursa_sim with the same flags must produce byte-for-byte identical reports.
+# Everything ursa_sim prints in this mode is derived from simulated time and
+# the seeded Rng; any host wall-clock or iteration-order leak shows up here
+# as a diff. Registered in ctest as `seeded_cli_determinism`.
+#
+# Usage: seeded_cli_determinism.sh <path-to-ursa_sim>
+set -u
+
+if [ "$#" -ne 1 ] || [ ! -x "$1" ]; then
+  echo "usage: $0 <path-to-ursa_sim>" >&2
+  exit 2
+fi
+URSA_SIM="$1"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "${WORKDIR}"' EXIT
+
+FLAGS="--workload=tpch --scheduler=ursa-srjf --jobs=8 --interval=4 --seed=97 \
+  --workers=8 --series=5 --fault-crashes=1 --fault-recovers=1 \
+  --fault-transients=3 --fault-seed=7 --spec"
+
+status=0
+# shellcheck disable=SC2086
+"${URSA_SIM}" ${FLAGS} >"${WORKDIR}/run1.txt" 2>&1 || status=$?
+if [ "${status}" -ne 0 ]; then
+  echo "FAIL: first ursa_sim run exited ${status}" >&2
+  cat "${WORKDIR}/run1.txt" >&2
+  exit 1
+fi
+# shellcheck disable=SC2086
+"${URSA_SIM}" ${FLAGS} >"${WORKDIR}/run2.txt" 2>&1 || status=$?
+if [ "${status}" -ne 0 ]; then
+  echo "FAIL: second ursa_sim run exited ${status}" >&2
+  cat "${WORKDIR}/run2.txt" >&2
+  exit 1
+fi
+
+if ! cmp -s "${WORKDIR}/run1.txt" "${WORKDIR}/run2.txt"; then
+  echo "FAIL: same-seed ursa_sim runs are not byte-identical" >&2
+  diff -u "${WORKDIR}/run1.txt" "${WORKDIR}/run2.txt" >&2 || true
+  exit 1
+fi
+
+echo "PASS: $(wc -c <"${WORKDIR}/run1.txt") bytes, byte-identical across runs"
+exit 0

@@ -108,9 +108,9 @@ TEST(Budget, CapsLiveCopiesAtFractionOfRunningTasks) {
   EXPECT_TRUE(manager.CanLaunch(25));
   manager.OnLost();
   EXPECT_EQ(manager.active(), 0);
-  EXPECT_EQ(stats.speculations_launched, 2);
-  EXPECT_EQ(stats.speculations_won, 1);
-  EXPECT_EQ(stats.speculations_lost, 1);
+  EXPECT_EQ(stats.Snapshot().speculations_launched, 2);
+  EXPECT_EQ(stats.Snapshot().speculations_won, 1);
+  EXPECT_EQ(stats.Snapshot().speculations_lost, 1);
 }
 
 TEST(Budget, AlwaysAdmitsOneCopyWhenAnythingRuns) {
@@ -237,11 +237,14 @@ TEST_F(CancellationWorkerTest, QueuedCancelledMonotasksAreNeverCharged) {
 
 class SpecListener : public JobManagerListener {
  public:
-  void OnTaskCompleted(JobId job, TaskId task) override { completed.push_back(task); }
-  void OnMonotaskCompleted(JobId job, ResourceType type, double bytes) override {
+  void OnTaskCompleted([[maybe_unused]] JobId job, TaskId task) override {
+    completed.push_back(task);
+  }
+  void OnMonotaskCompleted([[maybe_unused]] JobId job, [[maybe_unused]] ResourceType type,
+                           [[maybe_unused]] double bytes) override {
     ++monotasks;
   }
-  void OnJobFinished(JobId job) override { finished = true; }
+  void OnJobFinished([[maybe_unused]] JobId job) override { finished = true; }
 
   std::vector<TaskId> completed;
   int monotasks = 0;
@@ -360,12 +363,12 @@ TEST_F(SpeculationRaceTest, OriginalWinsWhileCopyIsInFlight) {
   Drive(jm, {0, 1, 2});
   sim_.Run();
   EXPECT_TRUE(listener.finished);
-  EXPECT_EQ(stats_.speculations_launched, 1);
-  EXPECT_EQ(stats_.speculations_lost, 1);
-  EXPECT_EQ(stats_.speculations_won, 0);
+  EXPECT_EQ(stats_.Snapshot().speculations_launched, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_lost, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_won, 0);
   EXPECT_EQ(manager_->active(), 0);
   // The losing copy burned real (wall-clock) time on worker 3's core.
-  EXPECT_GT(stats_.total_wasted_seconds(), 0.0);
+  EXPECT_GT(stats_.Snapshot().total_wasted_seconds(), 0.0);
   // Every monotask completion was delivered exactly once despite the race.
   EXPECT_EQ(listener.monotasks, 8);
   ExpectMemoryDrained();
@@ -390,10 +393,10 @@ TEST_F(SpeculationRaceTest, OriginalWinsWhileCopyIsStillQueued) {
   sim_.ScheduleAt(0.1, [&] { ASSERT_TRUE(jm.PlaceSpeculative(target, 3)); });
   Drive(jm, {0, 1, 2});
   EXPECT_TRUE(listener.finished);
-  EXPECT_EQ(stats_.speculations_lost, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_lost, 1);
   // The copy never left the queue: its cancellation charged nothing.
-  EXPECT_DOUBLE_EQ(stats_.total_wasted_seconds(), 0.0);
-  EXPECT_DOUBLE_EQ(stats_.total_wasted_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(stats_.Snapshot().total_wasted_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(stats_.Snapshot().total_wasted_bytes(), 0.0);
   EXPECT_EQ(listener.monotasks, 8);
 }
 
@@ -419,12 +422,12 @@ TEST_F(SpeculationRaceTest, CopyWinsWhenPrimaryStraggles) {
   Drive(jm, {1, 2, 3});
   sim_.Run();
   EXPECT_TRUE(listener.finished);
-  EXPECT_EQ(stats_.speculations_launched, 1);
-  EXPECT_EQ(stats_.speculations_won, 1);
-  EXPECT_EQ(stats_.speculations_lost, 0);
+  EXPECT_EQ(stats_.Snapshot().speculations_launched, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_won, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_lost, 0);
   EXPECT_EQ(manager_->active(), 0);
   // The cancelled primary's partial work is the wasted side this time.
-  EXPECT_GT(stats_.total_wasted_seconds(), 0.0);
+  EXPECT_GT(stats_.Snapshot().total_wasted_seconds(), 0.0);
   EXPECT_EQ(listener.monotasks, 8);
   ExpectMemoryDrained();
 }
@@ -445,7 +448,7 @@ TEST_F(SpeculationRaceTest, PlaceSpeculativeRejectsInvalidTargets) {
   EXPECT_FALSE(jm.PlaceSpeculative(target, 2));  // Failed worker.
   ASSERT_TRUE(jm.PlaceSpeculative(target, 1));
   EXPECT_FALSE(jm.PlaceSpeculative(target, 3));  // Already has a copy.
-  EXPECT_EQ(stats_.speculations_launched, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_launched, 1);
 }
 
 TEST_F(SpeculationRaceTest, AbortCancelsTheLiveCopy) {
@@ -460,7 +463,7 @@ TEST_F(SpeculationRaceTest, AbortCancelsTheLiveCopy) {
   sim_.ScheduleAt(0.5, [&] { jm.Abort(); });
   sim_.Run();
   EXPECT_TRUE(jm.aborted());
-  EXPECT_EQ(stats_.speculations_cancelled, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_cancelled, 1);
   EXPECT_EQ(manager_->active(), 0);
   ExpectMemoryDrained();
 }
@@ -484,7 +487,7 @@ TEST_F(SpeculationRaceTest, PrimaryWorkerFailureHandsTaskToCopy) {
   Drive(jm, {1, 2, 3});
   sim_.Run();
   EXPECT_TRUE(listener.finished);
-  EXPECT_EQ(stats_.speculations_won, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_won, 1);
   EXPECT_EQ(jm.task_worker(target), 3);
   EXPECT_FALSE(jm.primary_lost(target));
   EXPECT_EQ(manager_->active(), 0);
@@ -520,8 +523,8 @@ TEST_F(SpeculationRaceTest, BothWorkersFailingRerunsTheTaskExactlyOnce) {
   Drive(jm, {1, 2});
   sim_.Run();
   EXPECT_TRUE(listener.finished);
-  EXPECT_EQ(stats_.speculations_cancelled, 1);
-  EXPECT_EQ(stats_.speculations_won, 0);
+  EXPECT_EQ(stats_.Snapshot().speculations_cancelled, 1);
+  EXPECT_EQ(stats_.Snapshot().speculations_won, 0);
   EXPECT_EQ(manager_->active(), 0);
   // The dropped primary never delivered its completion; the re-run did,
   // exactly once - so the total is still the plan's 8 monotasks.
@@ -544,7 +547,7 @@ TEST_F(SpeculationRaceTest, CopyWinsThenItsWorkerFails) {
   // kill the copy's worker. Its committed outputs die with it, so lineage
   // recovery must re-run the task even though it "completed".
   sim_.Run(2.0);
-  ASSERT_EQ(stats_.speculations_won, 1);
+  ASSERT_EQ(stats_.Snapshot().speculations_won, 1);
   ASSERT_EQ(jm.task_worker(target), 3);
   cluster_->worker(0).set_speed_factor(1.0);
   cluster_->worker(3).Fail();
@@ -602,7 +605,7 @@ TEST_F(SpeculationSchedulerTest, SpeculatesAgainstDegradedWorkerAndFinishes) {
   sim_.Schedule(1.0, [&] { cluster_->worker(0).set_speed_factor(0.05); });
   sim_.Run();
   EXPECT_TRUE(scheduler.AllJobsFinished());
-  const FaultStats& f = scheduler.fault_stats();
+  const FaultCounters f = scheduler.fault_stats();
   EXPECT_GT(f.speculations_launched, 0);
   // Every launched copy was resolved: won, lost or cancelled.
   EXPECT_EQ(f.speculations_launched,
@@ -643,7 +646,7 @@ TEST_F(SpeculationSchedulerTest, SpeculationSurvivesWorkerFailureMidRace) {
   sim_.Schedule(8.0, [&] { scheduler.FailWorker(2); });
   sim_.Run();
   EXPECT_TRUE(scheduler.AllJobsFinished());
-  const FaultStats& f = scheduler.fault_stats();
+  const FaultCounters f = scheduler.fault_stats();
   EXPECT_EQ(f.speculations_launched,
             f.speculations_won + f.speculations_lost + f.speculations_cancelled);
   EXPECT_EQ(scheduler.speculation_manager()->active(), 0);

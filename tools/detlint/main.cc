@@ -1,0 +1,47 @@
+// CLI driver for the determinism lint (tools/detlint/detlint.h).
+//
+//   detlint [--repo-root DIR] [--allowlist FILE] PATH...
+//
+// Exit codes: 0 = clean, 1 = findings reported, 2 = usage or IO error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/detlint/detlint.h"
+
+int main(int argc, char** argv) {
+  ursa::detlint::Options options;
+  options.repo_root = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo-root" && i + 1 < argc) {
+      options.repo_root = argv[++i];
+    } else if (arg == "--allowlist" && i + 1 < argc) {
+      options.allowlist_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: detlint [--repo-root DIR] [--allowlist FILE] PATH...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      options.roots.push_back(arg);
+    }
+  }
+  if (options.roots.empty()) {
+    std::fprintf(stderr, "detlint: no paths to scan\n");
+    return 2;
+  }
+  std::vector<ursa::detlint::Finding> findings;
+  std::string error;
+  if (!ursa::detlint::Run(options, &findings, &error)) {
+    std::fprintf(stderr, "detlint: %s\n", error.c_str());
+    return 2;
+  }
+  if (!findings.empty()) {
+    std::fputs(ursa::detlint::FormatFindings(findings).c_str(), stdout);
+    std::fprintf(stderr, "detlint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
