@@ -9,6 +9,7 @@
 //
 // Lock hierarchy (acquire strictly downward; see DESIGN.md section 10):
 //   UrsaScheduler::state_mu_
+//     > AdmissionController::mu_
 //     > FaultStats::mu_ / SpeculationManager::mu_
 //     > Worker's OccupancyLedger::mu_ > MonotaskQueue::mu_
 //     > EventQueue::mu_

@@ -28,6 +28,14 @@ struct JobSpec {
   uint64_t seed = 1;
   // Workload class label used in reports ("tpch", "ml", "graph", ...).
   std::string klass;
+  // --- Multi-tenant open-loop serving (DESIGN.md section 11). ---
+  // Tenant the job belongs to ("" = single-tenant workload).
+  std::string tenant;
+  // Priority tier for admission control and shedding; 0 is the highest.
+  int priority_tier = 0;
+  // Completion deadline in seconds from submission (0 = no SLO declared;
+  // admission control then applies its configured default).
+  double slo_seconds = 0.0;
 };
 
 // A submitted job: the spec compiled into the monotask execution plan.

@@ -1,6 +1,7 @@
 #include "src/driver/experiment.h"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 
 #include "src/common/logging.h"
@@ -74,33 +75,73 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
     }
   }
 
-  // Jobs are compiled and submitted at their submission times.
-  for (size_t i = 0; i < workload.jobs.size(); ++i) {
-    const WorkloadJob& wj = workload.jobs[i];
-    sim.ScheduleAt(wj.submit_time, [&, i] {
-      auto job = Job::Create(static_cast<JobId>(i), workload.jobs[i].spec);
+  std::unique_ptr<OpenLoopSource> source;
+  std::function<void()> arrive;
+  int submitted = 0;
+  if (config.open_loop.enabled) {
+    // Open-loop serving: arrivals are chained — each one schedules the next
+    // gap seconds later, with the gap stretched by the scheduler's current
+    // throttle factor (client backoff under backpressure).
+    source = std::make_unique<OpenLoopSource>(config.open_loop);
+    arrive = [&] {
+      if (source->Exhausted(sim.Now())) {
+        return;
+      }
+      auto job = Job::Create(static_cast<JobId>(submitted), source->NextJob());
+      ++submitted;
       if (ursa_sched != nullptr) {
         ursa_sched->SubmitJob(std::move(job));
       } else {
         exec_sched->SubmitJob(std::move(job));
       }
-    });
+      const double throttle =
+          ursa_sched != nullptr ? ursa_sched->admission_throttle_factor() : 1.0;
+      sim.Schedule(source->NextGap() * throttle, arrive);
+    };
+    sim.ScheduleAt(0.0, arrive);
+  } else {
+    // Closed batch: jobs are compiled and submitted at their fixed times.
+    submitted = static_cast<int>(workload.jobs.size());
+    for (size_t i = 0; i < workload.jobs.size(); ++i) {
+      const WorkloadJob& wj = workload.jobs[i];
+      sim.ScheduleAt(wj.submit_time, [&, i] {
+        auto job = Job::Create(static_cast<JobId>(i), workload.jobs[i].spec);
+        if (ursa_sched != nullptr) {
+          ursa_sched->SubmitJob(std::move(job));
+        } else {
+          exec_sched->SubmitJob(std::move(job));
+        }
+      });
+    }
   }
 
   sim.Run(config.time_limit);
   const int finished = ursa_sched != nullptr ? ursa_sched->finished_jobs()
                                              : exec_sched->finished_jobs();
-  CHECK_EQ(finished, static_cast<int>(workload.jobs.size()))
+  const int shed = ursa_sched != nullptr ? ursa_sched->shed_jobs() : 0;
+  // Every submitted job must have resolved: completed, or shed by admission
+  // control (open-loop runs under overload).
+  CHECK_EQ(finished + shed, submitted)
       << "scheme " << scheme_name << " did not finish workload " << workload.name
       << " within the time limit (likely a scheduling deadlock)";
 
   result.records = ursa_sched != nullptr ? ursa_sched->job_records()
                                          : exec_sched->job_records();
+  result.submitted = submitted;
   double last_finish = 0.0;
   for (const JobRecord& record : result.records) {
     last_finish = std::max(last_finish, record.finish_time);
   }
+  if (config.open_loop.enabled) {
+    // The serving horizon includes trailing sheds/arrivals after the last
+    // completion; guard against a run where every job was shed.
+    last_finish = std::max({last_finish, sim.Now(), 1e-9});
+  }
   result.efficiency = MetricsCollector::Compute(cluster, result.records, 0.0, last_finish);
+  result.tenants = MetricsCollector::ComputeTenantReport(result.records, last_finish);
+  if (ursa_sched != nullptr) {
+    result.admission = ursa_sched->admission_counters();
+  }
   if (config.sample_step > 0.0) {
     result.series = MetricsCollector::Sample(cluster, 0.0, last_finish, config.sample_step);
   }

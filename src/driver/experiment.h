@@ -21,6 +21,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/metrics/metrics.h"
 #include "src/scheduler/ursa_scheduler.h"
+#include "src/workloads/openloop.h"
 #include "src/workloads/workload.h"
 
 namespace ursa {
@@ -56,6 +57,12 @@ struct ExperimentConfig {
   int trace_sample = 1;
   // Event ring capacity; the oldest events are dropped past this.
   size_t trace_capacity = size_t{1} << 20;
+  // --- Open-loop serving (DESIGN.md section 11). ---
+  // When enabled, the `workload` argument of RunExperiment is ignored and
+  // jobs arrive continuously from an OpenLoopSource; inter-arrival gaps are
+  // stretched by the scheduler's backpressure throttle factor. A run ends
+  // when every arrived job resolved (completed or was shed).
+  OpenLoopConfig open_loop;
 };
 
 struct ExperimentResult {
@@ -67,6 +74,13 @@ struct ExperimentResult {
   double straggler_ratio = 0.0;
   // Fault injection / detection / recovery counters (Ursa scheduler only).
   FaultCounters faults;
+  // Admission/backpressure counters (zero when admission control is off).
+  AdmissionCounters admission;
+  // Per-tenant JCT/SLO/goodput breakdown and the Jain fairness index.
+  MetricsCollector::TenantReport tenants;
+  // Jobs offered to the scheduler (== records.size()); in open-loop mode
+  // this is the arrival count, of which `admission.shed` never ran.
+  int submitted = 0;
   // Non-null when tracing was enabled (config.trace / config.trace_out).
   std::shared_ptr<Tracer> trace;
   double makespan() const { return efficiency.makespan; }

@@ -13,16 +13,22 @@ EfficiencyReport MetricsCollector::Compute(const Cluster& cluster,
                                            const std::vector<JobRecord>& jobs, double t0,
                                            double t1) {
   EfficiencyReport report;
-  report.jobs = static_cast<int>(jobs.size());
   CHECK_GT(t1, t0);
   const double window = t1 - t0;
   report.makespan = window;
 
+  // Only completed jobs enter the JCT average; shed or unfinished records
+  // (open-loop runs with admission control) carry finish_time == -1.
   double jct_sum = 0.0;
+  int completed = 0;
   for (const JobRecord& job : jobs) {
-    jct_sum += job.jct();
+    if (job.completed()) {
+      jct_sum += job.jct();
+      ++completed;
+    }
   }
-  report.avg_jct = jobs.empty() ? 0.0 : jct_sum / static_cast<double>(jobs.size());
+  report.jobs = completed;
+  report.avg_jct = completed > 0 ? jct_sum / static_cast<double>(completed) : 0.0;
 
   // Core/memory time integrals across workers.
   double busy_cpu = 0.0;
@@ -169,6 +175,94 @@ void MetricsCollector::PrintFaultReport(const FaultCounters& stats, const std::s
         .Cell(stats.total_wasted_seconds(), 2);
     spec.Print(title + " - speculation");
   }
+}
+
+double JainFairnessIndex(const std::vector<double>& shares) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (shares.empty() || sum_sq <= 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+MetricsCollector::TenantReport MetricsCollector::ComputeTenantReport(
+    const std::vector<JobRecord>& records, double horizon) {
+  TenantReport report;
+  // Ordered map: the report (and anything serialized from it) is
+  // deterministic across runs.
+  std::map<std::string, TenantStats> by_tenant;
+  std::map<std::string, std::vector<double>> jcts;
+  std::map<std::string, int> slo_carrying;
+  std::map<std::string, int> slo_met;
+  for (const JobRecord& r : records) {
+    const std::string tenant = r.tenant.empty() ? "default" : r.tenant;
+    TenantStats& stats = by_tenant[tenant];
+    stats.tenant = tenant;
+    stats.tier = r.tier;
+    ++stats.submitted;
+    if (r.shed) {
+      ++stats.shed;
+    } else if (r.completed()) {
+      ++stats.completed;
+      jcts[tenant].push_back(r.jct());
+      if (r.slo > 0.0) {
+        ++slo_carrying[tenant];
+        if (r.met_slo()) {
+          ++slo_met[tenant];
+        }
+      }
+    }
+  }
+  std::vector<double> service_ratios;
+  for (auto& [tenant, stats] : by_tenant) {
+    const Summary jct = Summarize(jcts[tenant]);
+    stats.p50_jct = jct.p50;
+    stats.p95_jct = jct.p95;
+    stats.p99_jct = jct.p99;
+    stats.slo_attainment =
+        slo_carrying[tenant] > 0
+            ? static_cast<double>(slo_met[tenant]) / slo_carrying[tenant]
+            : 1.0;
+    stats.goodput = horizon > 0.0 ? stats.completed / horizon : 0.0;
+    stats.service_ratio =
+        stats.submitted > 0 ? static_cast<double>(stats.completed) / stats.submitted : 0.0;
+    service_ratios.push_back(stats.service_ratio);
+    report.total_completed += stats.completed;
+    report.total_shed += stats.shed;
+    report.tenants.push_back(stats);
+  }
+  report.jain_fairness = JainFairnessIndex(service_ratios);
+  report.goodput = horizon > 0.0 ? report.total_completed / horizon : 0.0;
+  return report;
+}
+
+void MetricsCollector::PrintTenantReport(const TenantReport& report,
+                                         const std::string& title) {
+  if (report.tenants.empty()) {
+    return;
+  }
+  Table table({"tenant", "tier", "submitted", "completed", "shed", "p50JCT", "p95JCT",
+               "p99JCT", "SLO%", "goodput/s"});
+  for (const TenantStats& t : report.tenants) {
+    table.Row()
+        .Cell(t.tenant)
+        .Cell(static_cast<int64_t>(t.tier))
+        .Cell(static_cast<int64_t>(t.submitted))
+        .Cell(static_cast<int64_t>(t.completed))
+        .Cell(static_cast<int64_t>(t.shed))
+        .Cell(t.p50_jct, 2)
+        .Cell(t.p95_jct, 2)
+        .Cell(t.p99_jct, 2)
+        .Cell(100.0 * t.slo_attainment, 1)
+        .Cell(t.goodput, 3);
+  }
+  table.Print(title + " - tenants (Jain fairness " +
+              std::to_string(report.jain_fairness).substr(0, 5) + ")");
 }
 
 }  // namespace ursa

@@ -38,10 +38,17 @@ struct JobRecord {
   JobId id = kInvalidId;
   std::string name;
   std::string klass;
+  std::string tenant;           // "" for single-tenant workloads.
+  int tier = 0;                 // Priority tier; 0 is the highest.
+  double slo = 0.0;             // Declared SLO in seconds (0 = none).
   double submit_time = 0.0;
   double admit_time = -1.0;
   double finish_time = -1.0;
   double cpu_seconds = 0.0;
+  bool shed = false;            // Rejected/evicted by admission control.
+  double shed_time = -1.0;
+  bool completed() const { return finish_time >= 0.0; }
+  bool met_slo() const { return completed() && (slo <= 0.0 || jct() <= slo); }
   double jct() const { return finish_time - submit_time; }
 };
 
@@ -76,7 +83,44 @@ class MetricsCollector {
   // detection latency, retries, lineage-recovery savings). No-op when the
   // run had no faults.
   static void PrintFaultReport(const FaultCounters& stats, const std::string& title);
+
+  // --- Multi-tenant open-loop serving (DESIGN.md section 11). ---
+  struct TenantStats {
+    std::string tenant;
+    int tier = 0;
+    int submitted = 0;
+    int completed = 0;
+    int shed = 0;
+    double p50_jct = 0.0;
+    double p95_jct = 0.0;
+    double p99_jct = 0.0;
+    // Fraction of SLO-carrying completed jobs that met their SLO, in
+    // [0, 1]; 1 when no job declared an SLO.
+    double slo_attainment = 1.0;
+    // Completed jobs per second over the report horizon.
+    double goodput = 0.0;
+    // Completed / submitted: the fraction of offered load actually served.
+    double service_ratio = 0.0;
+  };
+  struct TenantReport {
+    std::vector<TenantStats> tenants;  // Ordered by tenant name.
+    // Jain fairness index over per-tenant service ratios, in (0, 1];
+    // 1 = every tenant got the same fraction of its offered load served.
+    double jain_fairness = 1.0;
+    int total_completed = 0;
+    int total_shed = 0;
+    double goodput = 0.0;  // Cluster-wide completed jobs per second.
+  };
+  // `horizon` is the wall of the run in simulated seconds (> 0) used for
+  // goodput; records with an empty tenant are grouped under "default".
+  static TenantReport ComputeTenantReport(const std::vector<JobRecord>& records,
+                                          double horizon);
+  static void PrintTenantReport(const TenantReport& report, const std::string& title);
 };
+
+// Jain's fairness index (sum x)^2 / (n * sum x^2) over non-negative shares;
+// returns 1.0 for empty or all-zero input.
+double JainFairnessIndex(const std::vector<double>& shares);
 
 }  // namespace ursa
 

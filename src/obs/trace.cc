@@ -72,6 +72,14 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "spec_lost";
     case TraceEventKind::kSpecCancelled:
       return "spec_cancelled";
+    case TraceEventKind::kAdmit:
+      return "admit";
+    case TraceEventKind::kShed:
+      return "shed";
+    case TraceEventKind::kDefer:
+      return "defer";
+    case TraceEventKind::kBackpressure:
+      return "backpressure";
   }
   return "?";
 }
@@ -193,6 +201,20 @@ void Tracer::WorkerEvent(double now, TraceEventKind kind, WorkerId w, double lat
   Push(event);
 }
 
+void Tracer::AdmissionEvent(double now, TraceEventKind kind, JobId j, int tier, double a,
+                            double b) {
+  CHECK(kind == TraceEventKind::kAdmit || kind == TraceEventKind::kShed ||
+        kind == TraceEventKind::kDefer || kind == TraceEventKind::kBackpressure);
+  TraceEvent event;
+  event.kind = kind;
+  event.t = now;
+  event.a = a;
+  event.b = b;
+  event.job = j;
+  event.stage = tier;  // No stage for job-level events; the slot carries the tier.
+  Push(event);
+}
+
 std::vector<TraceEvent> Tracer::Snapshot() const {
   // Oldest-first: once the ring wrapped, next_slot_ points at the oldest.
   std::vector<TraceEvent> out;
@@ -300,6 +322,18 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
                       "\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
                       "\"args\":{\"worker\":%d,\"latency_s\":%.9g}}",
                       TraceEventKindName(e.kind), ts, e.worker, e.worker, e.a);
+        emit(buf);
+        break;
+      case TraceEventKind::kAdmit:
+      case TraceEventKind::kShed:
+      case TraceEventKind::kDefer:
+      case TraceEventKind::kBackpressure:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"admission\",\"ph\":\"i\",\"s\":\"g\","
+                      "\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
+                      "\"args\":{\"job\":%d,\"tier\":%d,\"a\":%.9g,\"b\":%.9g}}",
+                      TraceEventKindName(e.kind), ts, kSchedulerPid, e.job, e.stage, e.a,
+                      e.b);
         emit(buf);
         break;
     }

@@ -64,6 +64,14 @@ enum class TraceEventKind : int8_t {
   kSpecWon = 15,
   kSpecLost = 16,
   kSpecCancelled = 17,
+  // Admission control & backpressure (DESIGN.md section 11). Job-level
+  // instants: a job entering the active set, a job shed (at submit or by
+  // eviction), a low-tier activation deferred under degradation, and a
+  // backpressure level transition (job == kInvalidId for the latter).
+  kAdmit = 18,
+  kShed = 19,
+  kDefer = 20,
+  kBackpressure = 21,
 };
 
 const char* TraceEventKindName(TraceEventKind kind);
@@ -119,6 +127,12 @@ class Tracer {
   // kWorkerFail / kWorkerRecover / kDetection / kRejoin; `latency` is the
   // detection latency in seconds for kDetection.
   void WorkerEvent(double now, TraceEventKind kind, WorkerId w, double latency = 0.0);
+  // kAdmit / kShed / kDefer / kBackpressure. `a`/`b` meaning per kind:
+  // admit -> (admission latency s, pending depth after admit); shed ->
+  // (u_j, 0); defer -> (age s, 0); backpressure -> (level, throttle factor).
+  // `tier` is the job's priority tier (stored in the stage field).
+  void AdmissionEvent(double now, TraceEventKind kind, JobId j, int tier, double a,
+                      double b);
 
   // --- Introspection. ---
   size_t size() const { return ring_.size(); }

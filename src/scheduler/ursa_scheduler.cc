@@ -30,6 +30,9 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
         [this](WorkerId w, [[maybe_unused]] double silence) { HandleWorkerFailure(w); });
     detector_->set_on_rejoin([this](WorkerId w) { OnWorkerRejoined(w); });
   }
+  if (config_.admission.enabled) {
+    admission_ = std::make_unique<AdmissionController>(config_.admission);
+  }
   if (config_.spec.enabled) {
     spec_manager_ = std::make_unique<SpeculationManager>(config_.spec, &fault_stats_);
     // Cancelled monotasks report their elapsed busy time (the wasted work of
@@ -53,6 +56,9 @@ void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
   record.id = job->id;
   record.name = job->spec.name;
   record.klass = job->spec.klass;
+  record.tenant = job->spec.tenant;
+  record.tier = job->spec.priority_tier;
+  record.slo = job->spec.slo_seconds;
   record.submit_time = sim_->Now();
   records_.push_back(std::move(record));
 
@@ -62,11 +68,95 @@ void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
   jobs_.push_back(std::move(entry));
   {
     MutexLock lock(state_mu_);
-    waiting_admission_.push_back(id);
     ++total_jobs_;
+  }
+  if (admission_ != nullptr) {
+    const Job& submitted = *jobs_[static_cast<size_t>(id)]->job;
+    AdmissionController::JobInfo info;
+    info.id = id;
+    info.tier = submitted.spec.priority_tier;
+    info.expected_seconds = EstimateExpectedSeconds(submitted);
+    info.slo = submitted.spec.slo_seconds;
+    const AdmissionController::Decision decision = admission_->OnSubmit(info, sim_->Now());
+    if (decision.evicted != kInvalidId) {
+      ShedJob(decision.evicted);
+    }
+    if (!decision.accepted) {
+      ShedJob(id);
+      return;
+    }
+  }
+  {
+    MutexLock lock(state_mu_);
+    waiting_admission_.push_back(id);
   }
   TryAdmitJobs();
   EnsureTickScheduled();
+}
+
+void UrsaScheduler::ShedJob(JobId id) {
+  JobEntry& entry = *jobs_[static_cast<size_t>(id)];
+  CHECK(!entry.admitted && !entry.finished && !entry.shed)
+      << "only unadmitted jobs can be shed";
+  entry.shed = true;
+  const double now = sim_->Now();
+  JobRecord& record = records_[static_cast<size_t>(id)];
+  record.shed = true;
+  record.shed_time = now;
+  {
+    MutexLock lock(state_mu_);
+    waiting_admission_.erase(
+        std::remove(waiting_admission_.begin(), waiting_admission_.end(), id),
+        waiting_admission_.end());
+    ++shed_jobs_;
+  }
+  if (tracer_ != nullptr) {
+    const double slo = entry.job->spec.slo_seconds > 0.0
+                           ? entry.job->spec.slo_seconds
+                           : config_.admission.default_slo;
+    tracer_->AdmissionEvent(now, TraceEventKind::kShed, id, entry.job->spec.priority_tier,
+                            EstimateExpectedSeconds(*entry.job) / slo, 0.0);
+  }
+}
+
+double UrsaScheduler::EstimateExpectedSeconds(const Job& job) const {
+  const auto work = job.plan.ExpectedWorkByResource();
+  double rate[kNumMonotaskResources] = {0.0, 0.0, 0.0};
+  for (int w = 0; w < cluster_->size(); ++w) {
+    const Worker& worker = cluster_->worker(w);
+    if (worker.failed()) {
+      continue;
+    }
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      rate[r] += worker.ProcessingRate(static_cast<ResourceType>(r));
+    }
+  }
+  double worst = 0.0;
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    if (work[static_cast<size_t>(r)] > 0.0) {
+      worst = std::max(worst, work[static_cast<size_t>(r)] / std::max(rate[r], 1.0));
+    }
+  }
+  return worst;
+}
+
+double UrsaScheduler::AvgHeadroom() const {
+  const std::vector<WorkerLoad> loads = SnapshotLoads();
+  double sum = 0.0;
+  int live = 0;
+  for (int w = 0; w < cluster_->size(); ++w) {
+    if (cluster_->worker(w).failed()) {
+      continue;
+    }
+    const WorkerLoad& load = loads[static_cast<size_t>(w)];
+    double headroom = 0.0;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      headroom += load.d[r];
+    }
+    sum += headroom / kNumMonotaskResources;
+    ++live;
+  }
+  return live > 0 ? sum / static_cast<double>(live) : 0.0;
 }
 
 const JobManager* UrsaScheduler::job_manager(JobId id) const {
@@ -202,6 +292,9 @@ void UrsaScheduler::OnJobFinished(JobId job_id) {
   JobEntry& entry = *jobs_[static_cast<size_t>(job_id)];
   CHECK(entry.admitted && !entry.finished);
   entry.finished = true;
+  if (admission_ != nullptr) {
+    admission_->OnJobFinished(job_id);
+  }
   {
     MutexLock lock(state_mu_);
     reserved_memory_ -= entry.job->spec.declared_memory_bytes;
@@ -248,10 +341,23 @@ void UrsaScheduler::Tick() {
     tick_scheduled_ = false;
   }
   const WallTimer wall;
+  if (admission_ != nullptr &&
+      admission_->UpdateBackpressure(sim_->Now(), AvgHeadroom())) {
+    if (tracer_ != nullptr) {
+      tracer_->AdmissionEvent(sim_->Now(), TraceEventKind::kBackpressure, kInvalidId, 0,
+                              static_cast<double>(static_cast<int>(admission_->level())),
+                              admission_->throttle_factor());
+    }
+  }
   TryAdmitJobs();
   RefreshPriorities();
   const PlacementStats stats = RunPlacement();
-  RunSpeculation();
+  // Graceful degradation: under kDegrade backpressure the speculation pass is
+  // suspended — duplicate copies are pure overhead when the cluster is
+  // saturated with primary work.
+  if (admission_ == nullptr || admission_->level() < BackpressureLevel::kDegrade) {
+    RunSpeculation();
+  }
   if (tracer_ != nullptr) {
     tracer_->SchedulerTick(sim_->Now(), stats.candidates, stats.placed,
                            wall.ElapsedMicros());
@@ -279,8 +385,8 @@ void UrsaScheduler::TryAdmitJobs() {
       // waiting jobs.
       std::array<double, kNumMonotaskResources> total_load = {0.0, 0.0, 0.0};
       for (const auto& entry : jobs_) {
-        if (entry->finished) {
-          continue;
+        if (entry->finished || entry->shed) {
+          continue;  // Shed jobs never run; they must not contribute load.
         }
         const auto work = entry->admitted ? entry->jm->remaining_work()
                                           : entry->job->plan.ExpectedWorkByResource();
@@ -306,28 +412,82 @@ void UrsaScheduler::TryAdmitJobs() {
   }
   const double memory_budget =
       cluster_->total_memory() * config_.admission_memory_fraction;
-  // Strict head-of-line admission prevents starvation of large jobs. Each
+  // Strict head-of-line admission prevents starvation of large jobs; the
+  // utilization gate (admission control) is a second head-of-line condition,
+  // while tier deferral under kDegrade backpressure skips an entry so
+  // higher-priority waiters behind it can still be considered. Each
   // admission commits under the lock, but StartJobManager runs with it
   // released: starting a job re-enters the scheduler (ready-task callbacks),
   // which must be able to take state_mu_ itself.
+  size_t cursor = 0;
   while (true) {
     JobEntry* admitted = nullptr;
+    JobId admitted_id = kInvalidId;
+    bool deferred = false;
+    JobId deferred_id = kInvalidId;
+    int deferred_tier = 0;
+    double deferred_age = 0.0;
+    const double now = sim_->Now();
     {
       MutexLock lock(state_mu_);
-      if (waiting_admission_.empty()) {
+      if (cursor >= waiting_admission_.size()) {
         break;
       }
-      const JobId id = waiting_admission_.front();
+      const JobId id = waiting_admission_[cursor];
       JobEntry& entry = *jobs_[static_cast<size_t>(id)];
-      if (reserved_memory_ + entry.job->spec.declared_memory_bytes > memory_budget) {
-        break;
+      if (admission_ != nullptr) {
+        // Deferring this job only helps if a higher-priority (numerically
+        // smaller tier) job is actually waiting to take its place; otherwise
+        // deferral would idle the cluster (or, on a queue of only low-tier
+        // jobs, deadlock it), so it is suppressed.
+        bool has_competing_work = false;
+        for (size_t i = 0; !has_competing_work && i < waiting_admission_.size(); ++i) {
+          has_competing_work =
+              i != cursor &&
+              jobs_[static_cast<size_t>(waiting_admission_[i])]->job->spec.priority_tier <
+                  entry.job->spec.priority_tier;
+        }
+        const AdmissionController::Gate gate =
+            admission_->GateActivation(id, now, has_competing_work);
+        if (gate == AdmissionController::Gate::kDeferTier) {
+          deferred = true;
+          deferred_id = id;
+          deferred_tier = entry.job->spec.priority_tier;
+          deferred_age = now - entry.job->submit_time;
+          ++cursor;
+        } else if (gate == AdmissionController::Gate::kBlockedUtilization) {
+          break;  // Head-of-line: the utilization bound must free up first.
+        }
       }
-      waiting_admission_.erase(waiting_admission_.begin());
-      reserved_memory_ += entry.job->spec.declared_memory_bytes;
-      entry.admitted = true;
-      ++active_jobs_;
-      records_[static_cast<size_t>(id)].admit_time = sim_->Now();
-      admitted = &entry;
+      if (!deferred) {
+        if (reserved_memory_ + entry.job->spec.declared_memory_bytes > memory_budget) {
+          break;
+        }
+        waiting_admission_.erase(waiting_admission_.begin() +
+                                 static_cast<ptrdiff_t>(cursor));
+        reserved_memory_ += entry.job->spec.declared_memory_bytes;
+        entry.admitted = true;
+        ++active_jobs_;
+        records_[static_cast<size_t>(id)].admit_time = now;
+        if (admission_ != nullptr) {
+          admission_->OnActivated(id, now);
+        }
+        admitted = &entry;
+        admitted_id = id;
+      }
+    }
+    if (deferred) {
+      if (tracer_ != nullptr) {
+        tracer_->AdmissionEvent(now, TraceEventKind::kDefer, deferred_id, deferred_tier,
+                                deferred_age, 0.0);
+      }
+      continue;
+    }
+    if (tracer_ != nullptr && admission_ != nullptr) {
+      tracer_->AdmissionEvent(now, TraceEventKind::kAdmit, admitted_id,
+                              admitted->job->spec.priority_tier,
+                              now - admitted->job->submit_time,
+                              static_cast<double>(admission_->counters().pending_now));
     }
     StartJobManager(*admitted);
   }

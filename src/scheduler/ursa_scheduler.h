@@ -31,6 +31,7 @@
 #include "src/fault/failure_detector.h"
 #include "src/fault/fault_stats.h"
 #include "src/metrics/metrics.h"
+#include "src/scheduler/admission.h"
 #include "src/scheduler/job_ordering.h"
 #include "src/spec/speculation.h"
 
@@ -65,6 +66,9 @@ struct UrsaSchedulerConfig {
   FaultToleranceConfig fault;
   // Straggler mitigation by speculative execution (DESIGN.md section 9).
   SpeculationConfig spec;
+  // SLO-aware admission control, backpressure and load shedding for
+  // open-loop serving (DESIGN.md section 11).
+  AdmissionConfig admission;
 };
 
 class UrsaScheduler : public JobManagerListener {
@@ -97,6 +101,16 @@ class UrsaScheduler : public JobManagerListener {
   const FailureDetector* failure_detector() const { return detector_.get(); }
   // Null when speculation is disabled.
   const SpeculationManager* speculation_manager() const { return spec_manager_.get(); }
+  // Null when admission control is disabled.
+  const AdmissionController* admission_controller() const { return admission_.get(); }
+  AdmissionCounters admission_counters() const {
+    return admission_ != nullptr ? admission_->counters() : AdmissionCounters{};
+  }
+  // Backoff multiplier the open-loop driver applies to inter-arrival gaps;
+  // 1.0 with admission control disabled or no backpressure.
+  double admission_throttle_factor() const {
+    return admission_ != nullptr ? admission_->throttle_factor() : 1.0;
+  }
 
   // JobManagerListener:
   void OnTaskReady(JobId job, TaskId task) override;
@@ -104,13 +118,19 @@ class UrsaScheduler : public JobManagerListener {
   void OnMonotaskCompleted(JobId job, ResourceType type, double input_bytes) override;
   void OnJobFinished(JobId job) override;
 
+  // Every submitted job is resolved: it either completed or was shed by
+  // admission control.
   bool AllJobsFinished() const EXCLUDES(state_mu_) {
     MutexLock lock(state_mu_);
-    return finished_jobs_ == total_jobs_;
+    return finished_jobs_ + shed_jobs_ == total_jobs_;
   }
   int finished_jobs() const EXCLUDES(state_mu_) {
     MutexLock lock(state_mu_);
     return finished_jobs_;
+  }
+  int shed_jobs() const EXCLUDES(state_mu_) {
+    MutexLock lock(state_mu_);
+    return shed_jobs_;
   }
   int total_jobs() const EXCLUDES(state_mu_) {
     MutexLock lock(state_mu_);
@@ -135,6 +155,7 @@ class UrsaScheduler : public JobManagerListener {
     std::unique_ptr<JobManager> jm;
     bool admitted = false;
     bool finished = false;
+    bool shed = false;  // Rejected or evicted by admission control; never ran.
     double srjf_rank = 0.0;
   };
 
@@ -153,6 +174,16 @@ class UrsaScheduler : public JobManagerListener {
   // rank by estimated time to finish and, within the budget, place copies on
   // workers chosen by the same Algorithm-1 score as primary placement.
   void RunSpeculation();
+
+  // Busiest-resource service seconds of `job` against the aggregate rates of
+  // the live cluster; the u_j numerator of the admission utilization gate.
+  double EstimateExpectedSeconds(const Job& job) const;
+  // Mean D_r headroom across live workers — the backpressure saturation
+  // signal fed to the admission controller every tick.
+  double AvgHeadroom() const;
+  // Sheds an unadmitted job: removes it from the waiting list, stamps its
+  // record and trace event, and counts it resolved.
+  void ShedJob(JobId id) EXCLUDES(state_mu_);
 
   // Recovery entry point shared by FailWorker() and the heartbeat detector.
   // Handles each worker-failure epoch exactly once; returns affected jobs.
@@ -213,6 +244,9 @@ class UrsaScheduler : public JobManagerListener {
   // Non-null when speculative execution is enabled; shared by all job
   // managers for budget enforcement and waste accounting.
   std::unique_ptr<SpeculationManager> spec_manager_;
+  // Non-null when admission control is enabled. Internally synchronized;
+  // its mutex sits directly below state_mu_ in the lock hierarchy.
+  std::unique_ptr<AdmissionController> admission_;
   FaultStats fault_stats_;
   // Last Worker::failure_epoch() handled per worker, so an explicit
   // FailWorker() call and a later detector declaration of the same crash
@@ -230,6 +264,7 @@ class UrsaScheduler : public JobManagerListener {
   int total_jobs_ GUARDED_BY(state_mu_) = 0;
   int total_restarts_ GUARDED_BY(state_mu_) = 0;
   int finished_jobs_ GUARDED_BY(state_mu_) = 0;
+  int shed_jobs_ GUARDED_BY(state_mu_) = 0;
   int active_jobs_ GUARDED_BY(state_mu_) = 0;
   bool tick_scheduled_ GUARDED_BY(state_mu_) = false;
   bool placement_dirty_ GUARDED_BY(state_mu_) = false;

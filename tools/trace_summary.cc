@@ -61,6 +61,9 @@ int main(int argc, char** argv) {
   std::map<uint64_t, const ChromeTraceEvent*> open;  // Dispatches awaiting an end.
   std::map<std::string, int64_t> faults;
   std::map<std::string, int64_t> spec_events;
+  std::map<std::string, int64_t> admission_events;
+  double admit_latency_sum = 0.0;
+  int64_t admits = 0;
   int64_t ticks = 0;
   int64_t candidates = 0;
   int64_t placed = 0;
@@ -125,6 +128,12 @@ int main(int argc, char** argv) {
       ++faults[e.name];
     } else if (e.cat == "spec") {
       ++spec_events[e.name];
+    } else if (e.cat == "admission") {
+      ++admission_events[e.name];
+      if (e.name == "admit") {
+        admit_latency_sum += Arg(e, "a");
+        ++admits;
+      }
     }
   }
 
@@ -185,6 +194,17 @@ int main(int argc, char** argv) {
       spec_table.Row().Cell(name).Cell(count);
     }
     spec_table.Print("speculation events");
+  }
+  if (!admission_events.empty()) {
+    Table admission_table({"admission event", "count"});
+    for (const auto& [name, count] : admission_events) {
+      admission_table.Row().Cell(name).Cell(count);
+    }
+    admission_table.Print("admission events");
+    if (admits > 0) {
+      std::printf("avg admission latency: %.3f s over %" PRId64 " admits\n",
+                  admit_latency_sum / static_cast<double>(admits), admits);
+    }
   }
 
   // Schema diagnostics. Unpaired dispatches are expected only when the ring

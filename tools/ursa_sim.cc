@@ -2,7 +2,7 @@
 //
 //   ursa_sim --workload=tpch --scheduler=ursa-ejf --jobs=50 [options]
 //
-// Workloads:   tpch | tpcds | tpch2 | mixed | synthetic
+// Workloads:   tpch | tpcds | tpch2 | mixed | synthetic | openloop
 // Schedulers:  ursa-ejf | ursa-srjf | y+s | y+t | y+u |
 //              tetris | tetris2 | capacity
 // Options:     --jobs=N --interval=SEC --seed=N --workers=N --gbps=G
@@ -15,20 +15,31 @@
 //              --retry-attempts=N
 // Speculation: --spec --spec-threshold=X --spec-budget=FRAC
 //              --spec-min-runtime=SEC
+// Open loop:   --open-loop (or --workload=openloop) --arrival-rate=JOBS/S
+//              --arrival-trace=FILE --tenants=name:weight:tier:slo,...
+//              (--jobs bounds the arrival count)
+// Admission:   --admission --max-pending=N --shed-policy=newest|largest|tier
+//              --slo=SEC --u-bound=X (ursa schemes only)
+//
+// Unknown flags and out-of-range values are errors: the offending flag is
+// named on stderr and the process exits 2 (the usage exit code), so typos
+// never silently fall back to defaults.
 //
 // Prints the paper-style summary (makespan, avg JCT, SE/UE), a fault report
-// when chaos was injected, and optionally a sampled cluster-utilization
-// series.
+// when chaos was injected, the per-tenant/admission report for open-loop
+// runs, and optionally a sampled cluster-utilization series.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "src/common/table.h"
 #include "src/common/units.h"
 #include "src/driver/experiment.h"
 #include "src/obs/trace.h"
 #include "src/workloads/mixed.h"
+#include "src/workloads/openloop.h"
 #include "src/workloads/synthetic.h"
 #include "src/workloads/tpcds.h"
 #include "src/workloads/tpch.h"
@@ -65,6 +76,16 @@ struct Flags {
   double spec_threshold = 1.75;
   double spec_budget = 0.1;
   double spec_min_runtime = 1.0;
+  // Open-loop serving + admission control (DESIGN.md section 11).
+  bool open_loop = false;
+  double arrival_rate = 0.5;
+  std::string arrival_trace;
+  std::string tenants;
+  bool admission = false;
+  int max_pending = 64;
+  std::string shed_policy = "tier";
+  double slo = 300.0;
+  double u_bound = 4.0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -76,9 +97,41 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+// Strict numeric parsers: the whole value must parse and land in
+// [min_v, max_v], otherwise the flag is rejected by name.
+bool ToInt(const std::string& s, long min_v, long max_v, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || v < min_v || v > max_v) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool ToUint64(const std::string& s, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || s[0] == '-') {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ToDouble(const std::string& s, double min_v, double max_v, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || !(v >= min_v) || !(v <= max_v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: ursa_sim [--workload=tpch|tpcds|tpch2|mixed|synthetic]\n"
+               "usage: ursa_sim [--workload=tpch|tpcds|tpch2|mixed|synthetic|openloop]\n"
                "                [--scheduler=ursa-ejf|ursa-srjf|y+s|y+t|y+u|tetris|tetris2|"
                "capacity]\n"
                "                [--jobs=N] [--interval=SEC] [--seed=N] [--workers=N]\n"
@@ -91,8 +144,18 @@ int Usage() {
                "                [--detect-timeout=SEC] [--heartbeat=SEC]\n"
                "                [--no-lineage] [--retry-attempts=N]\n"
                "                [--spec] [--spec-threshold=X] [--spec-budget=FRAC]\n"
-               "                [--spec-min-runtime=SEC]\n");
+               "                [--spec-min-runtime=SEC]\n"
+               "                [--open-loop] [--arrival-rate=JOBS/S] [--arrival-trace=FILE]\n"
+               "                [--tenants=name:weight:tier:slo,...]\n"
+               "                [--admission] [--max-pending=N]\n"
+               "                [--shed-policy=newest|largest|tier] [--slo=SEC] [--u-bound=X]\n");
   return 2;
+}
+
+int BadFlagValue(const char* name, const std::string& value) {
+  std::fprintf(stderr, "ursa_sim: flag --%s rejects '%s' (not a number or out of range)\n",
+               name, value.c_str());
+  return Usage();
 }
 
 }  // namespace
@@ -107,63 +170,121 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "scheduler", &value)) {
       flags.scheduler = value;
     } else if (ParseFlag(argv[i], "jobs", &value)) {
-      flags.jobs = std::atoi(value.c_str());
+      if (!ToInt(value, 1, 10000000, &flags.jobs)) return BadFlagValue("jobs", value);
     } else if (ParseFlag(argv[i], "interval", &value)) {
-      flags.interval = std::atof(value.c_str());
+      if (!ToDouble(value, 0.0, 1e9, &flags.interval)) return BadFlagValue("interval", value);
     } else if (ParseFlag(argv[i], "seed", &value)) {
-      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ToUint64(value, &flags.seed)) return BadFlagValue("seed", value);
     } else if (ParseFlag(argv[i], "workers", &value)) {
-      flags.workers = std::atoi(value.c_str());
+      if (!ToInt(value, 1, 100000, &flags.workers)) return BadFlagValue("workers", value);
     } else if (ParseFlag(argv[i], "gbps", &value)) {
-      flags.gbps = std::atof(value.c_str());
+      if (!ToDouble(value, 1e-3, 1e6, &flags.gbps)) return BadFlagValue("gbps", value);
     } else if (ParseFlag(argv[i], "subscription", &value)) {
-      flags.subscription = std::atof(value.c_str());
+      if (!ToDouble(value, 1e-3, 100.0, &flags.subscription)) {
+        return BadFlagValue("subscription", value);
+      }
     } else if (ParseFlag(argv[i], "series", &value)) {
-      flags.series = std::atof(value.c_str());
+      if (!ToDouble(value, 0.0, 1e9, &flags.series)) return BadFlagValue("series", value);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       flags.trace = true;
     } else if (ParseFlag(argv[i], "trace-out", &value)) {
       flags.trace_out = value;
     } else if (ParseFlag(argv[i], "trace-sample", &value)) {
-      flags.trace_sample = std::atoi(value.c_str());
+      if (!ToInt(value, 1, 1000000, &flags.trace_sample)) {
+        return BadFlagValue("trace-sample", value);
+      }
     } else if (ParseFlag(argv[i], "trace-capacity", &value)) {
-      flags.trace_capacity = std::strtoull(value.c_str(), nullptr, 10);
+      uint64_t capacity = 0;
+      if (!ToUint64(value, &capacity) || capacity == 0) {
+        return BadFlagValue("trace-capacity", value);
+      }
+      flags.trace_capacity = static_cast<size_t>(capacity);
     } else if (ParseFlag(argv[i], "fault-crashes", &value)) {
-      flags.fault_crashes = std::atoi(value.c_str());
+      if (!ToInt(value, 0, 100000, &flags.fault_crashes)) {
+        return BadFlagValue("fault-crashes", value);
+      }
     } else if (ParseFlag(argv[i], "fault-recovers", &value)) {
-      flags.fault_recovers = std::atoi(value.c_str());
+      if (!ToInt(value, 0, 100000, &flags.fault_recovers)) {
+        return BadFlagValue("fault-recovers", value);
+      }
     } else if (ParseFlag(argv[i], "fault-transients", &value)) {
-      flags.fault_transients = std::atoi(value.c_str());
+      if (!ToInt(value, 0, 100000, &flags.fault_transients)) {
+        return BadFlagValue("fault-transients", value);
+      }
     } else if (ParseFlag(argv[i], "fault-degrades", &value)) {
-      flags.fault_degrades = std::atoi(value.c_str());
+      if (!ToInt(value, 0, 100000, &flags.fault_degrades)) {
+        return BadFlagValue("fault-degrades", value);
+      }
     } else if (ParseFlag(argv[i], "fault-seed", &value)) {
-      flags.fault_seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ToUint64(value, &flags.fault_seed)) return BadFlagValue("fault-seed", value);
     } else if (ParseFlag(argv[i], "fault-horizon", &value)) {
-      flags.fault_horizon = std::atof(value.c_str());
+      if (!ToDouble(value, 1e-9, 1e9, &flags.fault_horizon)) {
+        return BadFlagValue("fault-horizon", value);
+      }
     } else if (ParseFlag(argv[i], "detect-timeout", &value)) {
-      flags.detect_timeout = std::atof(value.c_str());
+      if (!ToDouble(value, 1e-9, 1e9, &flags.detect_timeout)) {
+        return BadFlagValue("detect-timeout", value);
+      }
     } else if (ParseFlag(argv[i], "heartbeat", &value)) {
-      flags.heartbeat = std::atof(value.c_str());
+      if (!ToDouble(value, 1e-9, 1e9, &flags.heartbeat)) {
+        return BadFlagValue("heartbeat", value);
+      }
     } else if (std::strcmp(argv[i], "--no-lineage") == 0) {
       flags.no_lineage = true;
     } else if (ParseFlag(argv[i], "retry-attempts", &value)) {
-      flags.retry_attempts = std::atoi(value.c_str());
+      if (!ToInt(value, 1, 1000, &flags.retry_attempts)) {
+        return BadFlagValue("retry-attempts", value);
+      }
     } else if (std::strcmp(argv[i], "--spec") == 0) {
       flags.spec = true;
     } else if (ParseFlag(argv[i], "spec-threshold", &value)) {
-      flags.spec_threshold = std::atof(value.c_str());
+      if (!ToDouble(value, 1.0, 1e3, &flags.spec_threshold)) {
+        return BadFlagValue("spec-threshold", value);
+      }
     } else if (ParseFlag(argv[i], "spec-budget", &value)) {
-      flags.spec_budget = std::atof(value.c_str());
+      if (!ToDouble(value, 0.0, 1.0, &flags.spec_budget)) {
+        return BadFlagValue("spec-budget", value);
+      }
     } else if (ParseFlag(argv[i], "spec-min-runtime", &value)) {
-      flags.spec_min_runtime = std::atof(value.c_str());
+      if (!ToDouble(value, 0.0, 1e9, &flags.spec_min_runtime)) {
+        return BadFlagValue("spec-min-runtime", value);
+      }
+    } else if (std::strcmp(argv[i], "--open-loop") == 0) {
+      flags.open_loop = true;
+    } else if (ParseFlag(argv[i], "arrival-rate", &value)) {
+      if (!ToDouble(value, 1e-9, 1e9, &flags.arrival_rate)) {
+        return BadFlagValue("arrival-rate", value);
+      }
+    } else if (ParseFlag(argv[i], "arrival-trace", &value)) {
+      flags.arrival_trace = value;
+    } else if (ParseFlag(argv[i], "tenants", &value)) {
+      flags.tenants = value;
+    } else if (std::strcmp(argv[i], "--admission") == 0) {
+      flags.admission = true;
+    } else if (ParseFlag(argv[i], "max-pending", &value)) {
+      if (!ToInt(value, 1, 10000000, &flags.max_pending)) {
+        return BadFlagValue("max-pending", value);
+      }
+    } else if (ParseFlag(argv[i], "shed-policy", &value)) {
+      flags.shed_policy = value;
+    } else if (ParseFlag(argv[i], "slo", &value)) {
+      if (!ToDouble(value, 1e-9, 1e9, &flags.slo)) return BadFlagValue("slo", value);
+    } else if (ParseFlag(argv[i], "u-bound", &value)) {
+      if (!ToDouble(value, 1e-9, 1e9, &flags.u_bound)) return BadFlagValue("u-bound", value);
     } else {
+      std::fprintf(stderr, "ursa_sim: unknown flag '%s'\n", argv[i]);
       return Usage();
     }
   }
+  if (flags.workload == "openloop") {
+    flags.open_loop = true;
+  }
 
-  // Workload.
+  // Workload (ignored by open-loop runs: arrivals come from the source).
   Workload workload;
-  if (flags.workload == "tpch") {
+  if (flags.open_loop) {
+    workload.name = "openloop";
+  } else if (flags.workload == "tpch") {
     TpchWorkloadConfig config;
     config.num_jobs = flags.jobs;
     config.submit_interval = flags.interval;
@@ -184,6 +305,7 @@ int main(int argc, char** argv) {
   } else if (flags.workload == "synthetic") {
     workload = MakeSyntheticMixedWorkload(std::max(1, flags.jobs / 2), flags.seed);
   } else {
+    std::fprintf(stderr, "ursa_sim: unknown workload '%s'\n", flags.workload.c_str());
     return Usage();
   }
 
@@ -207,6 +329,7 @@ int main(int argc, char** argv) {
                                 : (flags.scheduler == "tetris2" ? PlacementAlgorithm::kTetris2
                                                                 : PlacementAlgorithm::kCapacity);
   } else {
+    std::fprintf(stderr, "ursa_sim: unknown scheduler '%s'\n", flags.scheduler.c_str());
     return Usage();
   }
   config.cluster.num_workers = flags.workers;
@@ -218,6 +341,39 @@ int main(int argc, char** argv) {
   config.trace_out = flags.trace_out;
   config.trace_sample = flags.trace_sample;
   config.trace_capacity = flags.trace_capacity;
+
+  // Open-loop serving and admission control (DESIGN.md section 11).
+  if (flags.open_loop) {
+    config.open_loop.enabled = true;
+    config.open_loop.seed = flags.seed;
+    config.open_loop.arrival_rate = flags.arrival_rate;
+    config.open_loop.trace_file = flags.arrival_trace;
+    config.open_loop.max_jobs = flags.jobs;
+    if (!flags.arrival_trace.empty()) {
+      std::vector<double> gaps;
+      std::string error;
+      if (!LoadInterarrivalTrace(flags.arrival_trace, &gaps, &error)) {
+        std::fprintf(stderr, "ursa_sim: --arrival-trace: %s\n", error.c_str());
+        return 2;
+      }
+    }
+    if (!flags.tenants.empty()) {
+      std::string error;
+      if (!ParseTenantSpecs(flags.tenants, &config.open_loop.tenants, &error)) {
+        std::fprintf(stderr, "ursa_sim: --tenants: %s\n", error.c_str());
+        return 2;
+      }
+    }
+  }
+  config.ursa.admission.enabled = flags.admission;
+  config.ursa.admission.max_pending = flags.max_pending;
+  if (!ParseShedPolicy(flags.shed_policy, &config.ursa.admission.shed_policy)) {
+    std::fprintf(stderr, "ursa_sim: --shed-policy rejects '%s' (want newest|largest|tier)\n",
+                 flags.shed_policy.c_str());
+    return 2;
+  }
+  config.ursa.admission.default_slo = flags.slo;
+  config.ursa.admission.utilization_bound = flags.u_bound;
 
   // Fault-tolerance knobs and the chaos plan.
   config.ursa.fault.detector.heartbeat_interval = flags.heartbeat;
@@ -258,6 +414,19 @@ int main(int argc, char** argv) {
       .Cell(result.straggler_ratio, 2);
   table.Print(flags.workload + " on " + std::to_string(flags.workers) + " workers");
   MetricsCollector::PrintFaultReport(result.faults, flags.scheduler);
+  if (flags.open_loop) {
+    MetricsCollector::PrintTenantReport(result.tenants, flags.scheduler + " tenants");
+  }
+  if (flags.admission) {
+    const AdmissionCounters& c = result.admission;
+    std::printf(
+        "admission: submitted=%lld admitted=%lld shed=%lld (slo=%lld evicted=%lld) "
+        "deferrals=%lld maxPending=%d avgLatency=%.3fs level=%s\n",
+        static_cast<long long>(c.submitted), static_cast<long long>(c.admitted),
+        static_cast<long long>(c.shed), static_cast<long long>(c.slo_rejects),
+        static_cast<long long>(c.evictions), static_cast<long long>(c.deferrals),
+        c.max_pending_depth, c.avg_admission_latency(), BackpressureLevelName(c.level));
+  }
   if (result.trace != nullptr) {
     result.trace->PrintSummary(flags.scheduler);
     if (!flags.trace_out.empty()) {
