@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "src/common/logging.h"
+#include "src/common/wallclock.h"
 #include "src/obs/trace.h"
 
 namespace ursa {
@@ -38,7 +39,7 @@ std::vector<std::vector<std::vector<double>>> UrsaStageTimes(const UrsaScheduler
 
 ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig& config,
                                const std::string& scheme_name) {
-  Simulator sim;
+  Simulator sim(config.queue_kind);
   Cluster cluster(&sim, config.cluster);
   ExperimentResult result;
   result.scheme = scheme_name;
@@ -115,7 +116,9 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
     }
   }
 
-  sim.Run(config.time_limit);
+  const WallTimer run_timer;
+  result.events_fired = sim.Run(config.time_limit);
+  result.wall_seconds = run_timer.ElapsedMicros() / 1e6;
   const int finished = ursa_sched != nullptr ? ursa_sched->finished_jobs()
                                              : exec_sched->finished_jobs();
   const int shed = ursa_sched != nullptr ? ursa_sched->shed_jobs() : 0;
@@ -141,6 +144,7 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
   result.tenants = MetricsCollector::ComputeTenantReport(result.records, last_finish);
   if (ursa_sched != nullptr) {
     result.admission = ursa_sched->admission_counters();
+    result.scheduler_counters = ursa_sched->scheduler_counters();
   }
   if (config.sample_step > 0.0) {
     result.series = MetricsCollector::Sample(cluster, 0.0, last_finish, config.sample_step);

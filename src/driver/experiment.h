@@ -21,6 +21,7 @@
 #include "src/fault/fault_injector.h"
 #include "src/metrics/metrics.h"
 #include "src/scheduler/ursa_scheduler.h"
+#include "src/sim/event_queue.h"
 #include "src/workloads/openloop.h"
 #include "src/workloads/workload.h"
 
@@ -57,6 +58,10 @@ struct ExperimentConfig {
   int trace_sample = 1;
   // Event ring capacity; the oldest events are dropped past this.
   size_t trace_capacity = size_t{1} << 20;
+  // Backing event-queue implementation for the simulator. Both kinds obey
+  // the same (when, id) ordering contract, so this never changes a seeded
+  // run's results — only its wall-clock cost (DESIGN.md section 12).
+  EventQueueKind queue_kind = EventQueueKind::kBinaryHeap;
   // --- Open-loop serving (DESIGN.md section 11). ---
   // When enabled, the `workload` argument of RunExperiment is ignored and
   // jobs arrive continuously from an OpenLoopSource; inter-arrival gaps are
@@ -81,6 +86,12 @@ struct ExperimentResult {
   // Jobs offered to the scheduler (== records.size()); in open-loop mode
   // this is the arrival count, of which `admission.shed` never ran.
   int submitted = 0;
+  // Simulator events fired during the run and the host wall-clock seconds
+  // the run took — the throughput numerators/denominators for bench_scale.
+  uint64_t events_fired = 0;
+  double wall_seconds = 0.0;
+  // Hot-path counters from the Ursa scheduler (zero for the executor model).
+  UrsaScheduler::SchedulerCounters scheduler_counters;
   // Non-null when tracing was enabled (config.trace / config.trace_out).
   std::shared_ptr<Tracer> trace;
   double makespan() const { return efficiency.makespan; }

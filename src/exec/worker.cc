@@ -72,6 +72,7 @@ void Worker::Fail() {
   disk_busy_.Set(now, 0.0);
   mem_alloc_.Set(now, 0.0);
   mem_used_.Set(now, 0.0);
+  MarkLoadChanged();
 }
 
 void Worker::Recover() {
@@ -89,6 +90,7 @@ void Worker::Recover() {
   speed_factor_ = 1.0;
   pending_transient_failures_ = 0;
   transient_failure_prob_ = 0.0;
+  MarkLoadChanged();
 }
 
 void Worker::StartHeartbeats(double interval, std::function<void(WorkerId)> sink,
@@ -150,6 +152,7 @@ void Worker::set_speed_factor(double factor) {
     const uint64_t k = key;
     fl.event = sim_->Schedule(remaining / fl.rate, [this, k] { FinishInFlight(k); });
   }
+  MarkLoadChanged();
 }
 
 double Worker::DoneWork(const InFlight& fl, double now) {
@@ -178,11 +181,13 @@ void Worker::Submit(RunnableMonotask mt) {
   if (mt.type == ResourceType::kNetwork &&
       mt.input_bytes < config_.small_transfer_bypass_bytes) {
     Execute(std::move(mt), /*counted=*/false);
+    MarkLoadChanged();
     return;
   }
   const ResourceType r = mt.type;
   queue(r).Push(std::move(mt));
   PumpQueue(r);
+  MarkLoadChanged();
 }
 
 void Worker::Reprioritize(const std::function<double(JobId)>& priority_of) {
@@ -201,6 +206,7 @@ bool Worker::TryAllocateMemory(double bytes) {
     return false;
   }
   mem_alloc_.Set(sim_->Now(), allocated);
+  MarkLoadChanged();
   return true;
 }
 
@@ -209,6 +215,7 @@ void Worker::ReleaseMemory(double bytes) {
     return;
   }
   mem_alloc_.Set(sim_->Now(), ledger_.ReleaseMemory(bytes));
+  MarkLoadChanged();
 }
 
 void Worker::AddActualMemoryUse(double delta) {
@@ -462,6 +469,7 @@ void Worker::SweepCancelled() {
     DiscardCancelled(dead.type, dead.input_bytes, now - dead.start, dead.counted, dead.job,
                      dead.id, dead.trace_id, fraction * dead.input_bytes);
   }
+  MarkLoadChanged();
 }
 
 void Worker::DiscardCancelled(ResourceType r, double input_bytes, double elapsed,
@@ -479,6 +487,7 @@ void Worker::DiscardCancelled(ResourceType r, double input_bytes, double elapsed
     ledger_.ReleaseSlot(r);
     PumpQueue(r);
   }
+  MarkLoadChanged();
 }
 
 void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, bool counted,
@@ -518,6 +527,7 @@ void Worker::OnMonotaskDone(ResourceType r, double input_bytes, double elapsed, 
     ledger_.ReleaseSlot(r);
     PumpQueue(r);
   }
+  MarkLoadChanged();
 }
 
 void Worker::RecordRate(ResourceType r, double bytes, double elapsed) {

@@ -17,8 +17,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/rng.h"
 #include "src/common/time_series.h"
 #include "src/exec/monotask_queue.h"
@@ -170,6 +172,16 @@ class Worker {
   // lifecycle transition and fault event on this worker is recorded.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // --- Incremental load maintenance (DESIGN.md section 12). ---
+  // At most one listener; invoked with this worker's id whenever an input of
+  // the scheduler's load snapshot changes (queue depths, running bytes,
+  // measured rates, memory allocation, fail/recover). The callback must be
+  // cheap — the scheduler just marks the worker dirty — and must not call
+  // back into the worker.
+  void set_load_listener(std::function<void(WorkerId)> listener) {
+    load_listener_ = std::move(listener);
+  }
+
   // Current occupancy, for invariant checks in tests.
   int busy_cores() const { return ledger_.slots_in_use(ResourceType::kCpu); }
   int busy_disks() const { return ledger_.slots_in_use(ResourceType::kDisk); }
@@ -246,6 +258,12 @@ class Worker {
   void RecordRate(ResourceType r, double bytes, double elapsed);
   void ScheduleHeartbeat();
   void ResetRateMonitors(double now);
+  // Notifies the scheduler's dirty set; safe to call redundantly.
+  void MarkLoadChanged() {
+    if (load_listener_) {
+      load_listener_(id_);
+    }
+  }
 
   Simulator* sim_;
   FlowSimulator* net_;
@@ -254,9 +272,17 @@ class Worker {
   Tracer* tracer_ = nullptr;
 
   MonotaskQueue queues_[kNumMonotaskResources];
+  // Map nodes are recycled through the worker-owned pool: at steady state a
+  // worker churns through thousands of in-flight records per simulated
+  // second, all the same size. Declared before inflight_ so the nodes die
+  // before their arena.
+  PoolResource inflight_arena_;
   // Ordered map: PumpQueue (via DiscardCancelled) may insert new entries
   // while SweepCancelled iterates, which std::map iterators tolerate.
-  std::map<uint64_t, InFlight> inflight_;
+  using InFlightMap = std::map<uint64_t, InFlight, std::less<uint64_t>,
+                               PoolAllocator<std::pair<const uint64_t, InFlight>>>;
+  InFlightMap inflight_{
+      PoolAllocator<std::pair<const uint64_t, InFlight>>(&inflight_arena_)};
   uint64_t next_inflight_key_ = 1;
   WasteSink waste_sink_;
   bool failed_ = false;
@@ -272,6 +298,7 @@ class Worker {
   double hb_interval_ = 0.0;
   std::function<void(WorkerId)> hb_sink_;
   std::function<bool()> hb_active_;
+  std::function<void(WorkerId)> load_listener_;
 
   // Concurrency slots, running bytes, completion counters, memory accounting
   // and the occupancy mirrors all live in the internally synchronized ledger

@@ -72,6 +72,10 @@ enum class TraceEventKind : int8_t {
   kShed = 19,
   kDefer = 20,
   kBackpressure = 21,
+  // A placement tick exhausted max_scored_pairs_per_tick and deferred the
+  // remaining jobs to the next tick (job == kInvalidId; a = pairs scored,
+  // b = jobs skipped). Recorded through AdmissionEvent.
+  kScoringTruncated = 22,
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

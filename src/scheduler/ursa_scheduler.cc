@@ -1,6 +1,7 @@
 #include "src/scheduler/ursa_scheduler.h"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <map>
 
@@ -10,16 +11,17 @@
 
 namespace ursa {
 
-namespace {
-// Guard against pathological candidate explosions in a single tick.
-constexpr size_t kMaxScoredPairsPerTick = 2'000'000;
-}  // namespace
-
 UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
                              const UrsaSchedulerConfig& config)
     : sim_(sim), cluster_(cluster), config_(config) {
   CHECK_GT(config_.scheduling_interval, 0.0);
   CHECK_GE(config_.ept_slack, 1.0);
+  CHECK_GT(config_.max_scored_pairs_per_tick, 0u);
+  if (config_.incremental_loads) {
+    for (int w = 0; w < cluster_->size(); ++w) {
+      cluster_->worker(w).set_load_listener([this](WorkerId id) { MarkLoadDirty(id); });
+    }
+  }
   if (config_.placement != PlacementAlgorithm::kAlgorithm1) {
     packing_ = std::make_unique<PackingState>(cluster, config_.placement);
   }
@@ -46,7 +48,13 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
   }
 }
 
-UrsaScheduler::~UrsaScheduler() = default;
+UrsaScheduler::~UrsaScheduler() {
+  // The cluster outlives this scheduler inside RunExperiment; detach the
+  // load listeners so a later worker mutation cannot call a dead object.
+  for (int w = 0; w < cluster_->size(); ++w) {
+    cluster_->worker(w).set_load_listener(nullptr);
+  }
+}
 
 void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
   CHECK_EQ(job->id, static_cast<JobId>(jobs_.size()))
@@ -140,8 +148,8 @@ double UrsaScheduler::EstimateExpectedSeconds(const Job& job) const {
   return worst;
 }
 
-double UrsaScheduler::AvgHeadroom() const {
-  const std::vector<WorkerLoad> loads = SnapshotLoads();
+double UrsaScheduler::AvgHeadroom() {
+  const std::vector<WorkerLoad>& loads = CurrentLoads();
   double sum = 0.0;
   int live = 0;
   for (int w = 0; w < cluster_->size(); ++w) {
@@ -340,6 +348,7 @@ void UrsaScheduler::Tick() {
     MutexLock lock(state_mu_);
     tick_scheduled_ = false;
   }
+  ++counters_.ticks;
   const WallTimer wall;
   if (admission_ != nullptr &&
       admission_->UpdateBackpressure(sim_->Now(), AvgHeadroom())) {
@@ -530,101 +539,423 @@ void UrsaScheduler::RefreshPriorities() {
   }
 }
 
+void UrsaScheduler::ComputeWorkerLoad(const Worker& worker, double ept,
+                                      WorkerLoad* out) const {
+  WorkerLoad& load = *out;
+  if (worker.failed()) {
+    load.memory_capacity = worker.memory_capacity();
+    return;  // All-zero headroom: never selected.
+  }
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    const auto type = static_cast<ResourceType>(r);
+    const double apt = worker.ApproxProcessingTime(type);
+    load.apt[r] = apt;
+    load.d[r] = std::max(0.0, (ept - apt) / ept);
+    load.rate[r] = worker.ProcessingRate(type);
+  }
+  load.free_memory = worker.free_memory();
+  load.memory_capacity = worker.memory_capacity();
+  load.d[static_cast<size_t>(ResourceDim::kMemory)] =
+      worker.free_memory() / worker.memory_capacity();
+}
+
 std::vector<UrsaScheduler::WorkerLoad> UrsaScheduler::SnapshotLoads() const {
   const double ept = config_.scheduling_interval * config_.ept_slack;
   std::vector<WorkerLoad> loads(static_cast<size_t>(cluster_->size()));
   for (int w = 0; w < cluster_->size(); ++w) {
-    const Worker& worker = cluster_->worker(w);
-    WorkerLoad& load = loads[static_cast<size_t>(w)];
-    if (worker.failed()) {
-      load.memory_capacity = worker.memory_capacity();
-      continue;  // All-zero headroom: never selected.
-    }
-    for (int r = 0; r < kNumMonotaskResources; ++r) {
-      const auto type = static_cast<ResourceType>(r);
-      const double apt = worker.ApproxProcessingTime(type);
-      load.apt[r] = apt;
-      load.d[r] = std::max(0.0, (ept - apt) / ept);
-      load.rate[r] = worker.ProcessingRate(type);
-    }
-    load.free_memory = worker.free_memory();
-    load.memory_capacity = worker.memory_capacity();
-    load.d[static_cast<size_t>(ResourceDim::kMemory)] =
-        worker.free_memory() / worker.memory_capacity();
+    ComputeWorkerLoad(cluster_->worker(w), ept, &loads[static_cast<size_t>(w)]);
   }
   return loads;
 }
 
-bool UrsaScheduler::BestWorker(const TaskUsage& usage, const std::vector<WorkerLoad>& loads,
-                               double ept, WorkerId* out_worker, double* out_score,
-                               WorkerId avoid) const {
-  // The D_r == 0 skip rule (section 4.2.2) only helps while some worker
-  // still has headroom in r to steer toward; when the whole cluster is
-  // backlogged on r, refusing every worker would merely idle the other
-  // resources, so the rule is suspended for that dimension.
-  bool any_headroom[kNumMonotaskResources] = {false, false, false};
-  for (const WorkerLoad& load : loads) {
-    for (int r = 0; r < kNumMonotaskResources; ++r) {
-      any_headroom[r] = any_headroom[r] || load.d[r] > 0.0;
+void UrsaScheduler::MarkLoadDirty(WorkerId w) {
+  if (!load_cache_.primed || load_cache_.dirty[static_cast<size_t>(w)] != 0) {
+    return;  // Unprimed caches are rebuilt in full; duplicates are dropped.
+  }
+  load_cache_.dirty[static_cast<size_t>(w)] = 1;
+  load_cache_.dirty_list.push_back(w);
+}
+
+const std::vector<UrsaScheduler::WorkerLoad>& UrsaScheduler::CurrentLoads() {
+  const double ept = config_.scheduling_interval * config_.ept_slack;
+  bool changed = false;
+  if (!config_.incremental_loads || !load_cache_.primed) {
+    load_cache_.loads.assign(static_cast<size_t>(cluster_->size()), WorkerLoad{});
+    for (int w = 0; w < cluster_->size(); ++w) {
+      ComputeWorkerLoad(cluster_->worker(w), ept,
+                        &load_cache_.loads[static_cast<size_t>(w)]);
+    }
+    load_cache_.dirty.assign(load_cache_.loads.size(), 0);
+    load_cache_.dirty_list.clear();
+    load_cache_.primed = true;
+    ++counters_.full_rebuilds;
+    changed = true;
+  } else if (!load_cache_.dirty_list.empty()) {
+    for (const WorkerId w : load_cache_.dirty_list) {
+      WorkerLoad load;
+      ComputeWorkerLoad(cluster_->worker(w), ept, &load);
+      load_cache_.loads[static_cast<size_t>(w)] = load;
+      load_cache_.dirty[static_cast<size_t>(w)] = 0;
+      ++counters_.load_refreshes;
+    }
+    load_cache_.dirty_list.clear();
+    changed = true;
+    if (config_.verify_loads) {
+      // Debug cross-check: the incremental snapshot must be bit-identical to
+      // a from-scratch rebuild; a divergence means a worker mutation path is
+      // missing its MarkLoadChanged() notification.
+      const std::vector<WorkerLoad> reference = SnapshotLoads();
+      CHECK_EQ(reference.size(), load_cache_.loads.size());
+      for (size_t w = 0; w < reference.size(); ++w) {
+        const WorkerLoad& a = reference[w];
+        const WorkerLoad& b = load_cache_.loads[w];
+        bool same =
+            a.free_memory == b.free_memory && a.memory_capacity == b.memory_capacity;
+        for (int r = 0; r < kNumResourceDims; ++r) {
+          same = same && a.d[r] == b.d[r];
+        }
+        for (int r = 0; r < kNumMonotaskResources; ++r) {
+          same = same && a.apt[r] == b.apt[r] && a.rate[r] == b.rate[r];
+        }
+        CHECK(same) << "incremental load for worker " << w
+                    << " diverged from the full rescan (missing dirty mark?)";
+      }
     }
   }
+  if (changed) {
+    scan_stale_ = true;
+  }
+  if (scan_stale_ && config_.prune_placement) {
+    RebuildScanOrder();
+  }
+  return load_cache_.loads;
+}
+
+double UrsaScheduler::LoadUb(const WorkerLoad& load) {
+  double ub = 1e-4;
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    ub += load.d[r] * load.d[r];
+  }
+  const double d_mem = load.d[static_cast<size_t>(ResourceDim::kMemory)];
+  ub += d_mem * d_mem;
+  return ub;
+}
+
+uint32_t UrsaScheduler::LoadMask(const WorkerLoad& load) {
+  uint32_t mask = 0;
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    if (load.d[r] > 0.0) {
+      mask |= 1u << r;
+    }
+  }
+  if (load.d[static_cast<size_t>(ResourceDim::kMemory)] > 0.0) {
+    mask |= 1u << kNumMonotaskResources;
+  }
+  return mask;
+}
+
+uint64_t UrsaScheduler::HashLoad(const WorkerLoad& load) {
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(&load);
+  uint64_t h = 14695981039346656037ull;  // FNV-1a.
+  for (size_t i = 0; i < sizeof(WorkerLoad); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void UrsaScheduler::OverlayApply(WorkerId w, const TaskUsage& usage, double ept,
+                                 const std::vector<WorkerLoad>& base,
+                                 int headroom[kNumMonotaskResources]) const {
+  WorkerLoad load;
+  const int32_t old_slot = overlay_slot_[static_cast<size_t>(w)];
+  if (old_slot >= 0) {
+    OverlayBucket& old_bucket = overlay_buckets_[static_cast<size_t>(old_slot)];
+    load = old_bucket.load;
+    old_bucket.members.erase(
+        std::lower_bound(old_bucket.members.begin(), old_bucket.members.end(), w));
+  } else {
+    load = base[static_cast<size_t>(w)];
+    overlay_touched_.push_back(w);
+  }
+  ApplyToLoad(usage, ept, &load, headroom);
+  // Find or create the bucket holding this exact load. Emptied buckets stay
+  // in the index as tombstones and get reused when the load recurs.
+  int32_t target = -1;
+  std::vector<int32_t>& hits = overlay_index_[HashLoad(load)];
+  for (const int32_t idx : hits) {
+    if (std::memcmp(&overlay_buckets_[static_cast<size_t>(idx)].load, &load,
+                    sizeof(WorkerLoad)) == 0) {
+      target = idx;
+      break;
+    }
+  }
+  if (target < 0) {
+    target = static_cast<int32_t>(overlay_buckets_.size());
+    OverlayBucket bucket;
+    bucket.load = load;
+    bucket.ub = LoadUb(load);
+    bucket.mask = LoadMask(load);
+    overlay_buckets_.push_back(std::move(bucket));
+    hits.push_back(target);
+  }
+  OverlayBucket& bucket = overlay_buckets_[static_cast<size_t>(target)];
+  bucket.members.insert(
+      std::lower_bound(bucket.members.begin(), bucket.members.end(), w), w);
+  overlay_slot_[static_cast<size_t>(w)] = target;
+}
+
+void UrsaScheduler::OverlayReset() const {
+  for (const WorkerId w : overlay_touched_) {
+    overlay_slot_[static_cast<size_t>(w)] = -1;
+  }
+  overlay_touched_.clear();
+  overlay_buckets_.clear();
+  overlay_index_.clear();
+}
+
+void UrsaScheduler::RebuildScanOrder() {
+  const std::vector<WorkerLoad>& loads = load_cache_.loads;
+  // Group workers with bit-identical loads: sort by the raw load bytes
+  // (WorkerLoad is all doubles, so memcmp is a total order with no padding
+  // hazards), then cut runs of equal loads into buckets. The index
+  // tie-break keeps each bucket's member list ascending.
+  std::vector<WorkerId> order(loads.size());
+  for (size_t w = 0; w < loads.size(); ++w) {
+    order[w] = static_cast<WorkerId>(w);
+  }
+  std::sort(order.begin(), order.end(), [&loads](WorkerId a, WorkerId b) {
+    const int c = std::memcmp(&loads[static_cast<size_t>(a)],
+                              &loads[static_cast<size_t>(b)], sizeof(WorkerLoad));
+    return c != 0 ? c < 0 : a < b;
+  });
+  scan_order_.clear();
+  for (size_t i = 0; i < order.size();) {
+    const WorkerLoad& load = loads[static_cast<size_t>(order[i])];
+    ScanBucket bucket;
+    // The bucket's upper bound is valid for the whole tick: every d only
+    // decreases as placements are applied, and modified workers leave the
+    // bucket's fresh set via the overlay.
+    bucket.ub = LoadUb(load);
+    bucket.mask = LoadMask(load);
+    size_t j = i;
+    while (j < order.size() &&
+           std::memcmp(&loads[static_cast<size_t>(order[j])], &load,
+                       sizeof(WorkerLoad)) == 0) {
+      bucket.members.push_back(order[j]);
+      ++j;
+    }
+    scan_order_.push_back(std::move(bucket));
+    i = j;
+  }
+  std::sort(scan_order_.begin(), scan_order_.end(),
+            [](const ScanBucket& a, const ScanBucket& b) {
+              if (a.ub != b.ub) {
+                return a.ub > b.ub;
+              }
+              return a.members.front() < b.members.front();
+            });
+  scan_stale_ = false;
+}
+
+void UrsaScheduler::CountHeadroom(const std::vector<WorkerLoad>& loads,
+                                  int out[kNumMonotaskResources]) {
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    out[r] = 0;
+  }
+  for (const WorkerLoad& load : loads) {
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      if (load.d[r] > 0.0) {
+        ++out[r];
+      }
+    }
+  }
+}
+
+bool UrsaScheduler::ScoreWorker(const TaskUsage& usage, const WorkerLoad& load, double ept,
+                                const int headroom[kNumMonotaskResources],
+                                bool consider_network, double* out_score) {
+  if (usage.memory > load.free_memory) {
+    return false;
+  }
+  double score = 0.0;
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    if (!consider_network && static_cast<ResourceType>(r) == ResourceType::kNetwork) {
+      continue;
+    }
+    if (usage.bytes[r] <= 0.0) {
+      continue;
+    }
+    double inc = usage.bytes[r] / std::max(load.rate[r], 1.0) / ept;
+    // The D_r == 0 skip rule (section 4.2.2) only helps while some worker
+    // still has headroom in r to steer toward; when the whole cluster is
+    // backlogged on r, refusing every worker would merely idle the other
+    // resources, so the rule is suspended for that dimension.
+    if (load.d[r] <= 0.0 && headroom[r] > 0) {
+      return false;  // Assigning t here would block on resource r.
+    }
+    inc = std::min(inc, load.d[r]);
+    score += load.d[r] * inc;
+  }
+  // Memory dimension, normalized by capacity so all dims are O(1).
+  const double d_mem = load.d[static_cast<size_t>(ResourceDim::kMemory)];
+  if (d_mem <= 0.0) {
+    return false;
+  }
+  const double inc_mem = std::min(usage.memory / load.memory_capacity, d_mem);
+  score += d_mem * inc_mem;
+  // Saturation tie-breaker: among equally (un)attractive workers, prefer
+  // the one whose queues for the task's resources are shortest.
+  double backlog = 0.0;
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    if (usage.bytes[r] > 0.0) {
+      backlog += load.apt[r];
+    }
+  }
+  score += 1e-4 / (1.0 + backlog);
+  *out_score = score;
+  return true;
+}
+
+bool UrsaScheduler::BestWorker(const TaskUsage& usage, const LoadView& view, double ept,
+                               WorkerId* out_worker, double* out_score,
+                               WorkerId avoid) const {
+  ++counters_.bestworker_calls;
   double best_score = -1.0;
   WorkerId best = kInvalidId;
-  for (size_t w = 0; w < loads.size(); ++w) {
-    if (static_cast<WorkerId>(w) == avoid) {
-      continue;
-    }
-    const WorkerLoad& load = loads[w];
-    if (usage.memory > load.free_memory) {
-      continue;
-    }
-    bool blocked = false;
-    double score = 0.0;
+  // The avoided worker's own best score, tracked in the same pass; consulted
+  // only when no other worker qualifies.
+  double avoid_score = -1.0;
+  bool avoid_ok = false;
+  if (config_.prune_placement && !scan_order_.empty()) {
+    // Pruned scan, pass 1: buckets in (upper bound desc, min worker asc)
+    // order. Fresh members of a bucket share one bit-identical load, so one
+    // ScoreWorker call scores them all and min-index-wins picks the smallest
+    // fresh id — exactly what the seed's ascending linear scan would do. A
+    // dimension the task needs with headroom somewhere now had headroom at
+    // scan-build time too (loads only worsen within a tick), so a zero mask
+    // bit proves the seed loop would skip every member as blocked; the same
+    // argument covers d_mem (failed workers prune here in O(1)).
+    uint32_t required = 1u << kNumMonotaskResources;  // d_mem > 0, always.
     for (int r = 0; r < kNumMonotaskResources; ++r) {
-      if (!config_.consider_network && static_cast<ResourceType>(r) == ResourceType::kNetwork) {
+      if (!config_.consider_network &&
+          static_cast<ResourceType>(r) == ResourceType::kNetwork) {
         continue;
       }
-      if (usage.bytes[r] <= 0.0) {
+      if (usage.bytes[r] > 0.0 && view.headroom[r] > 0) {
+        required |= 1u << r;
+      }
+    }
+    for (const ScanBucket& bucket : scan_order_) {
+      if (best != kInvalidId && bucket.ub < best_score) {
+        break;  // No later bucket can beat or tie the current best.
+      }
+      ++counters_.workers_scanned;
+      if ((bucket.mask & required) != required) {
         continue;
       }
-      double inc = usage.bytes[r] / std::max(load.rate[r], 1.0) / ept;
-      if (load.d[r] <= 0.0 && any_headroom[r]) {
-        // Assigning t here would block on resource r (section 4.2.2).
-        blocked = true;
+      // Smallest member still on its tick-start load; overlay-modified
+      // members are scored individually in pass 2.
+      WorkerId fresh = kInvalidId;
+      bool avoid_fresh = false;
+      for (const WorkerId id : bucket.members) {
+        if (view.slot != nullptr && (*view.slot)[static_cast<size_t>(id)] >= 0) {
+          continue;
+        }
+        if (id == avoid) {
+          avoid_fresh = true;
+          continue;
+        }
+        fresh = id;
         break;
       }
-      inc = std::min(inc, load.d[r]);
-      score += load.d[r] * inc;
-    }
-    if (blocked) {
-      continue;
-    }
-    // Memory dimension, normalized by capacity so all dims are O(1).
-    const double d_mem = load.d[static_cast<size_t>(ResourceDim::kMemory)];
-    if (d_mem <= 0.0) {
-      continue;
-    }
-    const double inc_mem = std::min(usage.memory / load.memory_capacity, d_mem);
-    score += d_mem * inc_mem;
-    // Saturation tie-breaker: among equally (un)attractive workers, prefer
-    // the one whose queues for the task's resources are shortest.
-    double backlog = 0.0;
-    for (int r = 0; r < kNumMonotaskResources; ++r) {
-      if (usage.bytes[r] > 0.0) {
-        backlog += load.apt[r];
+      if (fresh == kInvalidId && !avoid_fresh) {
+        continue;
+      }
+      const WorkerId probe = fresh != kInvalidId ? fresh : avoid;
+      double score = 0.0;
+      if (!ScoreWorker(usage, (*view.base)[static_cast<size_t>(probe)], ept,
+                       view.headroom, config_.consider_network, &score)) {
+        continue;
+      }
+      if (avoid_fresh) {
+        avoid_ok = true;
+        avoid_score = score;
+      }
+      if (fresh != kInvalidId &&
+          (score > best_score || (score == best_score && fresh < best))) {
+        best_score = score;
+        best = fresh;
       }
     }
-    score += 1e-4 / (1.0 + backlog);
-    if (score > best_score) {
-      best_score = score;
-      best = static_cast<WorkerId>(w);
+    // Pass 2: overlay-modified workers, grouped by identical current load
+    // just like pass 1 — one ScoreWorker per distinct modified load, however
+    // many workers this tick's placements have already touched. Bucket ubs
+    // and masks are exact (workers change buckets on every placement), so
+    // the same skip arguments apply. The avoided worker only needs explicit
+    // tracking when it is the bucket minimum: any other member qualifies
+    // with the identical score, so the avoid fallback would never fire.
+    if (view.mods != nullptr) {
+      for (const OverlayBucket& bucket : *view.mods) {
+        if (bucket.members.empty()) {
+          continue;  // Tombstone: every member moved to another load.
+        }
+        if (best != kInvalidId && bucket.ub < best_score) {
+          continue;
+        }
+        ++counters_.workers_scanned;
+        if ((bucket.mask & required) != required) {
+          continue;
+        }
+        WorkerId cand = bucket.members.front();
+        bool avoid_here = false;
+        if (cand == avoid) {
+          avoid_here = true;
+          cand = bucket.members.size() > 1 ? bucket.members[1] : kInvalidId;
+        }
+        double score = 0.0;
+        if (!ScoreWorker(usage, bucket.load, ept, view.headroom,
+                         config_.consider_network, &score)) {
+          continue;
+        }
+        if (avoid_here) {
+          avoid_ok = true;
+          avoid_score = score;
+        }
+        if (cand != kInvalidId &&
+            (score > best_score || (score == best_score && cand < best))) {
+          best_score = score;
+          best = cand;
+        }
+      }
+    }
+  } else {
+    const size_t n = view.base->size();
+    for (size_t w = 0; w < n; ++w) {
+      ++counters_.workers_scanned;
+      double score = 0.0;
+      if (!ScoreWorker(usage, view.at(w), ept, view.headroom, config_.consider_network,
+                       &score)) {
+        continue;
+      }
+      if (static_cast<WorkerId>(w) == avoid) {
+        avoid_ok = true;
+        avoid_score = score;
+        continue;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<WorkerId>(w);
+      }
     }
   }
   if (best == kInvalidId) {
-    if (avoid != kInvalidId) {
+    if (avoid_ok) {
       // Preference only: if the avoided worker is the sole candidate (e.g. a
       // one-worker cluster), place there rather than livelock.
-      return BestWorker(usage, loads, ept, out_worker, out_score, kInvalidId);
+      *out_worker = avoid;
+      *out_score = avoid_score;
+      return true;
     }
     return false;
   }
@@ -633,10 +964,15 @@ bool UrsaScheduler::BestWorker(const TaskUsage& usage, const std::vector<WorkerL
   return true;
 }
 
-void UrsaScheduler::ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load) {
+void UrsaScheduler::ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load,
+                                int headroom[kNumMonotaskResources]) {
   for (int r = 0; r < kNumMonotaskResources; ++r) {
     const double inc = usage.bytes[r] / std::max(load->rate[r], 1.0) / ept;
+    const bool had = load->d[r] > 0.0;
     load->d[r] = std::max(0.0, load->d[r] - inc);
+    if (had && load->d[r] <= 0.0) {
+      --headroom[r];
+    }
     load->apt[r] += inc * ept;
   }
   load->free_memory = std::max(0.0, load->free_memory - usage.memory);
@@ -644,27 +980,42 @@ void UrsaScheduler::ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* 
   load->d[mem] = load->free_memory / load->memory_capacity;
 }
 
-UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(const JobEntry& entry, StageId stage,
-                                                   const std::vector<TaskId>& tasks,
-                                                   std::vector<WorkerLoad> loads,
-                                                   double ept) const {
+UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(
+    const JobEntry& entry, StageId stage, const std::vector<TaskId>& tasks,
+    const std::vector<WorkerLoad>& base,
+    const int base_headroom[kNumMonotaskResources], double ept) const {
   StagePlan plan;
   plan.job = entry.job->id;
   plan.stage = stage;
   plan.complete = true;
+  // Overlay view: candidate scoring mutates only the workers it touches
+  // instead of copying all W loads per candidate.
+  if (overlay_slot_.size() < base.size()) {
+    overlay_slot_.assign(base.size(), -1);
+  }
+  int headroom[kNumMonotaskResources];
+  for (int r = 0; r < kNumMonotaskResources; ++r) {
+    headroom[r] = base_headroom[r];
+  }
+  LoadView view;
+  view.base = &base;
+  view.slot = &overlay_slot_;
+  view.mods = &overlay_buckets_;
+  view.headroom = headroom;
   double score_sum = 0.0;
   for (TaskId t : tasks) {
     const TaskUsage usage = entry.jm->GetUsage(t);
     WorkerId w = kInvalidId;
     double f = 0.0;
-    if (!BestWorker(usage, loads, ept, &w, &f, entry.jm->avoided_worker(t))) {
+    if (!BestWorker(usage, view, ept, &w, &f, entry.jm->avoided_worker(t))) {
       plan.complete = false;  // stage_bonus <- 0 in Algorithm 1.
       continue;
     }
     plan.assignments.emplace_back(t, w);
     score_sum += f;
-    ApplyToLoad(usage, ept, &loads[static_cast<size_t>(w)]);
+    OverlayApply(w, usage, ept, base, headroom);
   }
+  OverlayReset();
   if (plan.assignments.empty()) {
     plan.score = -std::numeric_limits<double>::infinity();
     return plan;
@@ -736,7 +1087,19 @@ void UrsaScheduler::RunSpeculation() {
                      return a.estimated_time_to_finish > b.estimated_time_to_finish;
                    });
   const double ept = config_.scheduling_interval * config_.ept_slack;
-  std::vector<WorkerLoad> loads = SnapshotLoads();
+  const std::vector<WorkerLoad> loads = CurrentLoads();
+  int headroom[kNumMonotaskResources];
+  CountHeadroom(loads, headroom);
+  // Mutations go through the overlay so the bucket scan's fresh/modified
+  // split stays exact against the refreshed base (see RunPlacement).
+  if (overlay_slot_.size() < loads.size()) {
+    overlay_slot_.assign(loads.size(), -1);
+  }
+  LoadView view;
+  view.base = &loads;
+  view.slot = &overlay_slot_;
+  view.mods = &overlay_buckets_;
+  view.headroom = headroom;
   for (const StragglerCandidate& cand : candidates) {
     if (!spec_manager_->CanLaunch(running)) {
       break;  // Wasted-work budget exhausted for this tick.
@@ -748,15 +1111,16 @@ void UrsaScheduler::RunSpeculation() {
     usage.memory = cand.memory;
     WorkerId w = kInvalidId;
     double f = 0.0;
-    if (!BestWorker(usage, loads, ept, &w, &f, cand.worker) || w == cand.worker) {
+    if (!BestWorker(usage, view, ept, &w, &f, cand.worker) || w == cand.worker) {
       continue;  // No eligible worker besides the straggling one.
     }
     JobEntry& entry = *jobs_[static_cast<size_t>(cand.job)];
     if (!entry.jm->PlaceSpeculative(cand.task, w)) {
       continue;
     }
-    ApplyToLoad(usage, ept, &loads[static_cast<size_t>(w)]);
+    OverlayApply(w, usage, ept, loads, headroom);
   }
+  OverlayReset();
 }
 
 UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
@@ -765,9 +1129,16 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
   }
   PlacementStats stats;
   const double ept = config_.scheduling_interval * config_.ept_slack;
-  std::vector<WorkerLoad> master = SnapshotLoads();
+  std::vector<WorkerLoad> master = CurrentLoads();
+  int headroom[kNumMonotaskResources];
+  CountHeadroom(master, headroom);
 
-  // Gather candidate (job, stage, ready tasks) groups.
+  // Gather candidate (job, stage, ready tasks) groups. The scan starts at the
+  // rotation cursor so that when the pair budget truncates a tick, the jobs
+  // deferred this tick are examined first on the next one instead of being
+  // starved behind the same low-index jobs forever. The cursor stays at 0
+  // across untruncated ticks, so runs that never hit the budget see the exact
+  // submission-order scan.
   struct Candidate {
     JobEntry* entry;
     StageId stage;
@@ -775,7 +1146,13 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
   };
   std::vector<Candidate> candidates;
   size_t scored_pairs = 0;
-  for (const auto& entry : jobs_) {
+  const size_t num_jobs = jobs_.size();
+  const size_t start = num_jobs > 0 ? placement_scan_start_ % num_jobs : 0;
+  size_t next_start = 0;
+  bool truncated = false;
+  for (size_t i = 0; i < num_jobs && !truncated; ++i) {
+    const size_t j = (start + i) % num_jobs;
+    const auto& entry = jobs_[j];
     if (!entry->admitted || entry->finished) {
       continue;
     }
@@ -794,15 +1171,25 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
           candidates.push_back(Candidate{entry.get(), stage, {t}});
         }
       }
-      if (scored_pairs > kMaxScoredPairsPerTick) {
+      if (scored_pairs > config_.max_scored_pairs_per_tick) {
         break;
       }
     }
-    if (scored_pairs > kMaxScoredPairsPerTick) {
-      LOG(Warning) << "placement candidate budget exhausted; deferring to next tick";
-      break;
+    if (scored_pairs > config_.max_scored_pairs_per_tick) {
+      truncated = true;
+      next_start = (j + 1) % num_jobs;
+      const size_t skipped = num_jobs - 1 - i;
+      LOG(Warning) << "placement candidate budget exhausted (" << scored_pairs
+                   << " pairs); deferring " << skipped << " job(s) to next tick";
+      ++counters_.scoring_truncated;
+      if (tracer_ != nullptr) {
+        tracer_->AdmissionEvent(sim_->Now(), TraceEventKind::kScoringTruncated,
+                                kInvalidId, 0, static_cast<double>(scored_pairs),
+                                static_cast<double>(skipped));
+      }
     }
   }
+  placement_scan_start_ = truncated ? next_start : 0;
   for (const Candidate& c : candidates) {
     stats.candidates += static_cast<int64_t>(c.tasks.size());
   }
@@ -817,18 +1204,28 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
   order.reserve(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     const Candidate& c = candidates[i];
-    StagePlan plan = ScoreStage(*c.entry, c.stage, c.tasks, master, ept);
+    StagePlan plan = ScoreStage(*c.entry, c.stage, c.tasks, master, headroom, ept);
     order.emplace_back(plan.score, i);
   }
   std::stable_sort(order.begin(), order.end(),
                    [](const auto& a, const auto& b) { return a.first > b.first; });
 
+  // Commit pass: re-resolve against the evolving loads. Mutations go
+  // through the overlay (ScoreStage left it clean) so the bucket scan keeps
+  // an exact fresh/modified split against the tick-start master.
+  if (overlay_slot_.size() < master.size()) {
+    overlay_slot_.assign(master.size(), -1);
+  }
+  LoadView view;
+  view.base = &master;
+  view.slot = &overlay_slot_;
+  view.mods = &overlay_buckets_;
+  view.headroom = headroom;
   for (const auto& [score, idx] : order) {
     if (score == -std::numeric_limits<double>::infinity()) {
       continue;
     }
     const Candidate& c = candidates[idx];
-    // Re-resolve against current master loads and commit.
     for (TaskId t : c.tasks) {
       if (c.entry->jm->task_state(t) != TaskState::kReady) {
         continue;
@@ -836,15 +1233,16 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
       const TaskUsage usage = c.entry->jm->GetUsage(t);
       WorkerId w = kInvalidId;
       double f = 0.0;
-      if (!BestWorker(usage, master, ept, &w, &f, c.entry->jm->avoided_worker(t))) {
+      if (!BestWorker(usage, view, ept, &w, &f, c.entry->jm->avoided_worker(t))) {
         continue;
       }
       if (c.entry->jm->PlaceTask(t, w)) {
-        ApplyToLoad(usage, ept, &master[static_cast<size_t>(w)]);
+        OverlayApply(w, usage, ept, master, headroom);
         ++stats.placed;
       }
     }
   }
+  OverlayReset();
   return stats;
 }
 

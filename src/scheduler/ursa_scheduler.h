@@ -20,8 +20,11 @@
 #ifndef SRC_SCHEDULER_URSA_SCHEDULER_H_
 #define SRC_SCHEDULER_URSA_SCHEDULER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/baselines/packing_schedulers.h"
@@ -69,6 +72,29 @@ struct UrsaSchedulerConfig {
   // SLO-aware admission control, backpressure and load shedding for
   // open-loop serving (DESIGN.md section 11).
   AdmissionConfig admission;
+  // --- Hot-path scaling (DESIGN.md section 12). ---
+  // Maintain the per-worker load snapshot incrementally from worker dirty
+  // notifications instead of rebuilding every worker at every refresh point.
+  // Placement results are bit-identical either way; only the cost changes.
+  bool incremental_loads = true;
+  // Scan BestWorker candidates in score-upper-bound order with an early
+  // cutoff and per-resource headroom masks instead of the full linear scan.
+  // Exact: the chosen worker and score match the linear scan bit for bit.
+  bool prune_placement = true;
+  // Cross-check every incremental refresh against a full rescan (CHECK on a
+  // mismatch). Costs one full snapshot per refresh; defaults on in debug
+  // builds only.
+#ifndef NDEBUG
+  bool verify_loads = true;
+#else
+  bool verify_loads = false;
+#endif
+  // Guard against pathological candidate explosions in a single tick: at
+  // most this many (task, worker) pairs are scored per placement pass. Jobs
+  // past the budget are deferred to the next tick, the tick is counted in
+  // scheduler_counters().scoring_truncated, and the gather start rotates so
+  // deferred jobs are not starved.
+  size_t max_scored_pairs_per_tick = 2'000'000;
 };
 
 class UrsaScheduler : public JobManagerListener {
@@ -149,6 +175,18 @@ class UrsaScheduler : public JobManagerListener {
   // reclaimed when their job finishes, so this is bounded by active jobs.
   size_t aborted_jms_retained() const { return aborted_jms_.size(); }
 
+  // Hot-path instrumentation (DESIGN.md section 12), cumulative over the
+  // run. Sim-thread state: read after the run (or from sim callbacks).
+  struct SchedulerCounters {
+    int64_t ticks = 0;
+    int64_t load_refreshes = 0;     // Dirty workers recomputed incrementally.
+    int64_t full_rebuilds = 0;      // Whole-cluster load snapshot rebuilds.
+    int64_t bestworker_calls = 0;
+    int64_t workers_scanned = 0;    // Scan entries examined across all calls.
+    int64_t scoring_truncated = 0;  // Ticks that hit max_scored_pairs_per_tick.
+  };
+  SchedulerCounters scheduler_counters() const { return counters_; }
+
  private:
   struct JobEntry {
     std::unique_ptr<Job> job;
@@ -180,7 +218,7 @@ class UrsaScheduler : public JobManagerListener {
   double EstimateExpectedSeconds(const Job& job) const;
   // Mean D_r headroom across live workers — the backpressure saturation
   // signal fed to the admission controller every tick.
-  double AvgHeadroom() const;
+  double AvgHeadroom();
   // Sheds an unadmitted job: removes it from the waiting list, stamps its
   // record and trace event, and counts it resolved.
   void ShedJob(JobId id) EXCLUDES(state_mu_);
@@ -212,19 +250,99 @@ class UrsaScheduler : public JobManagerListener {
     double rate[kNumMonotaskResources] = {0.0, 0.0, 0.0};
   };
 
+  // Workers whose loads diverged from the tick-start base during the current
+  // placement pass, grouped by bit-identical current load exactly like the
+  // base scan buckets: wide placement rounds touch most of the cluster, but
+  // with uniform tasks the modified loads collapse into a handful of
+  // distinct values, each scored once per BestWorker call. `ub` and `mask`
+  // are exact for the bucket's current load (workers move buckets on every
+  // placement).
+  struct OverlayBucket {
+    double ub = 0.0;
+    uint32_t mask = 0;  // Same encoding as ScanBucket::mask, always current.
+    WorkerLoad load;
+    std::vector<WorkerId> members;  // Ascending ids; empty = tombstone.
+  };
+
+  // Read-only view over the per-tick load state (DESIGN.md section 12):
+  // either the master vector directly, or the master plus a small overlay of
+  // modified workers (candidate scoring and the commit pass avoid copying
+  // all W loads). `headroom` counts workers with d_r > 0 in the view — the
+  // incrementally maintained form of the any_headroom rule (section 4.2.2).
+  struct LoadView {
+    const std::vector<WorkerLoad>* base = nullptr;
+    const std::vector<int32_t>* slot = nullptr;  // Worker -> bucket index; -1.
+    const std::vector<OverlayBucket>* mods = nullptr;
+    const int* headroom = nullptr;  // [kNumMonotaskResources]
+    const WorkerLoad& at(size_t w) const {
+      if (slot != nullptr) {
+        const int32_t s = (*slot)[w];
+        if (s >= 0) {
+          return (*mods)[static_cast<size_t>(s)].load;
+        }
+      }
+      return (*base)[w];
+    }
+  };
+
+  // Full-rescan load snapshot: the reference implementation, the
+  // incremental path's cross-check, and the incremental_loads=false
+  // fallback.
   std::vector<WorkerLoad> SnapshotLoads() const;
+  // The per-worker body of SnapshotLoads; `load` must be zero-initialized.
+  void ComputeWorkerLoad(const Worker& worker, double ept, WorkerLoad* load) const;
+  // Worker load-listener target: marks one cached worker load stale.
+  void MarkLoadDirty(WorkerId w);
+  // Brings the cached loads up to date — drains the dirty set, or rebuilds
+  // everything when incremental maintenance is off or the cache is cold —
+  // and rebuilds the pruning scan order when anything changed.
+  const std::vector<WorkerLoad>& CurrentLoads();
+  // Rebuilds scan_order_ (upper bound desc, min worker asc) from cached
+  // loads, grouping bit-identical loads into one bucket each.
+  void RebuildScanOrder();
+  static void CountHeadroom(const std::vector<WorkerLoad>& loads,
+                            int out[kNumMonotaskResources]);
+  // Upper bound on any score BestWorker can assign a worker with this load:
+  // each resource term is d_r * inc <= d_r^2, the memory term is
+  // d_mem * inc_mem <= d_mem^2, and the tie term is <= 1e-4.
+  static double LoadUb(const WorkerLoad& load);
+  // Headroom signature: bits 0..2 set for d_r > 0, bit
+  // kNumMonotaskResources for d_mem > 0 (shared by ScanBucket and
+  // OverlayBucket).
+  static uint32_t LoadMask(const WorkerLoad& load);
+  // FNV-1a over the load's raw bytes; keys the overlay bucket index.
+  static uint64_t HashLoad(const WorkerLoad& load);
+  // Moves `w` (fresh, or already in an overlay bucket) to the overlay
+  // bucket matching its load after applying one placement of `usage`.
+  void OverlayApply(WorkerId w, const TaskUsage& usage, double ept,
+                    const std::vector<WorkerLoad>& base,
+                    int headroom[kNumMonotaskResources]) const;
+  // Clears the overlay (slots, buckets, index) after a placement pass.
+  void OverlayReset() const;
+  // Seed scoring body for one worker; false when the worker is skipped
+  // (memory-infeasible, blocked on a contended dimension, or no memory
+  // headroom).
+  static bool ScoreWorker(const TaskUsage& usage, const WorkerLoad& load, double ept,
+                          const int headroom[kNumMonotaskResources],
+                          bool consider_network, double* out_score);
   // Evaluates Algorithm 1's StageScore for the ready tasks of (job, stage)
-  // against `loads` (mutating its own copy); returns the plan.
+  // against `base` (mutating only a private overlay); returns the plan.
   StagePlan ScoreStage(const JobEntry& entry, StageId stage,
-                       const std::vector<TaskId>& tasks, std::vector<WorkerLoad> loads,
-                       double ept) const;
+                       const std::vector<TaskId>& tasks,
+                       const std::vector<WorkerLoad>& base,
+                       const int base_headroom[kNumMonotaskResources], double ept) const;
   // Best worker for one task; returns false if no worker qualifies.
-  // `avoid` (from retry-exhaustion escalation) is skipped if any other
-  // worker qualifies, so a re-placed task lands elsewhere whenever possible.
-  bool BestWorker(const TaskUsage& usage, const std::vector<WorkerLoad>& loads, double ept,
+  // `avoid` (from retry-exhaustion escalation) is a preference, not a ban:
+  // its best qualifying score is tracked in the same pass and used only when
+  // no other worker qualifies, so a re-placed task lands elsewhere whenever
+  // possible without a second scan.
+  bool BestWorker(const TaskUsage& usage, const LoadView& view, double ept,
                   WorkerId* out_worker, double* out_score,
                   WorkerId avoid = kInvalidId) const;
-  static void ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load);
+  // Applies one placement to a worker's load and maintains the headroom
+  // counters across d_r > 0 -> == 0 transitions.
+  static void ApplyToLoad(const TaskUsage& usage, double ept, WorkerLoad* load,
+                          int headroom[kNumMonotaskResources]);
 
   Simulator* sim_;
   Cluster* cluster_;
@@ -252,6 +370,41 @@ class UrsaScheduler : public JobManagerListener {
   // FailWorker() call and a later detector declaration of the same crash
   // trigger recovery exactly once.
   std::vector<int> handled_epoch_;
+
+  // --- Hot-path state (DESIGN.md section 12); sim-thread only. ---
+  struct LoadCache {
+    std::vector<WorkerLoad> loads;
+    std::vector<uint8_t> dirty;  // Bitmap mirror of dirty_list.
+    std::vector<WorkerId> dirty_list;
+    bool primed = false;
+  };
+  LoadCache load_cache_;
+  // BestWorker candidate order: workers with bit-identical cached loads are
+  // grouped into one bucket carrying the shared score upper bound (valid for
+  // the whole tick — loads only worsen between refreshes) and a headroom
+  // signature mask for O(1) skipping of saturated and failed workers. The
+  // common homogeneous case collapses thousands of workers into a handful
+  // of buckets, each scored once per call.
+  struct ScanBucket {
+    double ub = 0.0;
+    uint32_t mask = 0;  // Bits 0..2: d_r > 0 at build time; bit 3: d_mem > 0.
+    std::vector<WorkerId> members;  // Ascending ids, identical loads.
+  };
+  std::vector<ScanBucket> scan_order_;
+  bool scan_stale_ = true;
+  // First job index of the next candidate gather: rotated after a truncated
+  // tick so deferred jobs are not starved, 0 (submission order) otherwise.
+  size_t placement_scan_start_ = 0;
+  mutable SchedulerCounters counters_;
+  // Placement overlay scratch: worker -> overlay_buckets_ index (-1 when the
+  // worker is unmodified), the load-grouped buckets, the load-hash -> bucket
+  // index map, and the touched-worker list for O(touched) reset. ScoreStage
+  // resets the overlay after every candidate; the commit and speculation
+  // passes reset it when they finish.
+  mutable std::vector<int32_t> overlay_slot_;
+  mutable std::vector<OverlayBucket> overlay_buckets_;
+  mutable std::unordered_map<uint64_t, std::vector<int32_t>> overlay_index_;
+  mutable std::vector<WorkerId> overlay_touched_;
 
   // Guards the admission queue and tick/progress counters — the scheduler
   // state concurrent completion callbacks will race on once the simulator

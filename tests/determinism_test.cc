@@ -107,6 +107,135 @@ TEST(Determinism, SyntheticMixedWorkloadIsSeedStable) {
   ExpectIdenticalRuns(workload, UrsaEjfConfig(), "ursa-ejf");
 }
 
+// --- Hot-path equivalence (DESIGN.md section 12). ---
+// The incremental load cache, the bucketed pruning scan and the calendar
+// queue are pure optimizations: every run below must make bit-identical
+// decisions with them on and off.
+
+// Returns `config` with every hot-path optimization forced to `fast` and the
+// debug cross-check enabled, so the incremental cache is also validated
+// against full rescans while the test runs.
+ExperimentConfig HotPath(ExperimentConfig config, bool fast) {
+  config.ursa.incremental_loads = fast;
+  config.ursa.prune_placement = fast;
+  config.ursa.verify_loads = fast;
+  config.queue_kind = fast ? EventQueueKind::kCalendar : EventQueueKind::kBinaryHeap;
+  return config;
+}
+
+void ExpectHotPathsEquivalent(const Workload& workload, ExperimentConfig config,
+                              const std::string& scheme) {
+  config.trace = true;
+  const ExperimentResult fast = RunExperiment(workload, HotPath(config, true), scheme);
+  const ExperimentResult seed = RunExperiment(workload, HotPath(config, false), scheme);
+
+  const std::vector<Placement> pf = PlacementsOf(fast);
+  const std::vector<Placement> ps = PlacementsOf(seed);
+  ASSERT_FALSE(pf.empty());
+  ASSERT_EQ(pf.size(), ps.size());
+  for (size_t i = 0; i < pf.size(); ++i) {
+    EXPECT_TRUE(pf[i] == ps[i])
+        << scheme << " placement #" << i << " diverged between hot paths: job "
+        << pf[i].job << " task " << pf[i].task << " -> worker " << pf[i].worker
+        << " vs job " << ps[i].job << " task " << ps[i].task << " -> worker "
+        << ps[i].worker;
+  }
+  EXPECT_EQ(fast.makespan(), seed.makespan());
+  EXPECT_EQ(fast.avg_jct(), seed.avg_jct());
+  EXPECT_EQ(fast.efficiency.ue_cpu, seed.efficiency.ue_cpu);
+  EXPECT_EQ(fast.events_fired, seed.events_fired);
+  // Same decision sequence: the pruned scan answers exactly the same
+  // BestWorker queries. (Scan-entry counts are not compared — on small
+  // heterogeneous clusters the bucketed path can examine more entries than
+  // the flat scan; it wins when loads collapse, i.e. at scale.)
+  EXPECT_EQ(fast.scheduler_counters.bestworker_calls,
+            seed.scheduler_counters.bestworker_calls);
+  ASSERT_EQ(fast.records.size(), seed.records.size());
+  for (size_t i = 0; i < fast.records.size(); ++i) {
+    EXPECT_EQ(fast.records[i].finish_time, seed.records[i].finish_time);
+  }
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchOnTpch) {
+  ExpectHotPathsEquivalent(SeededTpch(8, 11), UrsaEjfConfig(), "ursa-ejf");
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchOnSyntheticSrjf) {
+  ExpectHotPathsEquivalent(MakeSyntheticMixedWorkload(4, /*seed=*/9), UrsaSrjfConfig(),
+                           "ursa-srjf");
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchUnderChaos) {
+  // Fault recovery rebuilds worker state behind the scheduler's back and
+  // speculation places through the same overlay as primary placement — the
+  // two paths most likely to miss a dirty mark or stale bucket.
+  ExperimentConfig config = UrsaSrjfConfig();
+  config.ursa.spec.enabled = true;
+  config.ursa.spec.budget_fraction = 0.2;
+  FaultPlanConfig pc;
+  pc.seed = 7;
+  pc.num_workers = config.cluster.num_workers;
+  pc.horizon_end = 80.0;
+  pc.crashes = 1;
+  pc.crash_recovers = 1;
+  pc.transients = 3;
+  config.fault_plan = MakeRandomFaultPlan(pc);
+  ExpectHotPathsEquivalent(SeededTpch(6, 31), config, "ursa-srjf");
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchOnOpenLoop) {
+  ExperimentConfig config = UrsaEjfConfig();
+  config.open_loop.enabled = true;
+  config.open_loop.seed = 13;
+  config.open_loop.arrival_rate = 2.0;
+  config.open_loop.max_jobs = 30;
+  config.ursa.admission.enabled = true;
+  config.ursa.admission.max_pending = 6;
+  ExpectHotPathsEquivalent(Workload{}, config, "ursa-ejf");
+}
+
+TEST(Determinism, CalendarAndHeapQueuesMatch) {
+  // Queue kind alone, both schedulers on the fast path: pop order (and so
+  // the whole run) must not depend on the queue implementation.
+  ExperimentConfig heap = UrsaEjfConfig();
+  heap.queue_kind = EventQueueKind::kBinaryHeap;
+  ExperimentConfig calendar = heap;
+  calendar.queue_kind = EventQueueKind::kCalendar;
+  heap.trace = true;
+  calendar.trace = true;
+  const Workload workload = SeededTpch(8, 11);
+  const ExperimentResult a = RunExperiment(workload, heap, "ursa-ejf");
+  const ExperimentResult b = RunExperiment(workload, calendar, "ursa-ejf");
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.makespan(), b.makespan());
+  const std::vector<Placement> pa = PlacementsOf(a);
+  const std::vector<Placement> pb = PlacementsOf(b);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i] == pb[i]) << "placement #" << i << " diverged between queues";
+  }
+}
+
+TEST(Determinism, TruncatedGatherRotatesAndFinishes) {
+  // A candidate budget small enough to truncate every tick must still finish
+  // the workload (the rotation cursor keeps deferred jobs from starving) and
+  // must report the truncation it did.
+  ExperimentConfig config = UrsaEjfConfig();
+  config.ursa.max_scored_pairs_per_tick = 200;
+  const Workload workload = SeededTpch(6, 11);
+  const ExperimentResult result = RunExperiment(workload, config, "ursa-ejf");
+  EXPECT_GT(result.scheduler_counters.scoring_truncated, 0);
+  ASSERT_EQ(result.records.size(), workload.jobs.size());
+  for (const JobRecord& record : result.records) {
+    EXPECT_GE(record.finish_time, 0.0);
+  }
+  // And truncated runs are themselves seed-stable.
+  const ExperimentResult again = RunExperiment(workload, config, "ursa-ejf");
+  EXPECT_EQ(result.makespan(), again.makespan());
+  EXPECT_EQ(result.scheduler_counters.scoring_truncated,
+            again.scheduler_counters.scoring_truncated);
+}
+
 TEST(Determinism, SpeculationAndFaultsAreSeedStable) {
   // Chaos path: seeded fault plan plus speculation. Recovery resets and
   // first-finisher-wins races all replay identically for a fixed seed.

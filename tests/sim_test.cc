@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -7,8 +10,23 @@
 namespace ursa {
 namespace {
 
-TEST(EventQueue, FiresInTimeOrder) {
-  EventQueue queue;
+// Every EventQueue implementation must satisfy the same contract; the suite
+// runs once per kind.
+class EventQueueTest : public ::testing::TestWithParam<EventQueueKind> {
+ protected:
+  EventQueueTest() : queue_ptr_(MakeEventQueue(GetParam())), queue(*queue_ptr_) {}
+  std::unique_ptr<EventQueue> queue_ptr_;
+  EventQueue& queue;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EventQueueTest,
+                         ::testing::Values(EventQueueKind::kBinaryHeap,
+                                           EventQueueKind::kCalendar),
+                         [](const ::testing::TestParamInfo<EventQueueKind>& info) {
+                           return EventQueueKindName(info.param);
+                         });
+
+TEST_P(EventQueueTest, FiresInTimeOrder) {
   std::vector<int> fired;
   queue.Push(3.0, [&] { fired.push_back(3); });
   queue.Push(1.0, [&] { fired.push_back(1); });
@@ -19,8 +37,7 @@ TEST(EventQueue, FiresInTimeOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
-TEST(EventQueue, SameTimeFifo) {
-  EventQueue queue;
+TEST_P(EventQueueTest, SameTimeFifo) {
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
     queue.Push(1.0, [&fired, i] { fired.push_back(i); });
@@ -33,8 +50,7 @@ TEST(EventQueue, SameTimeFifo) {
   }
 }
 
-TEST(EventQueue, CancelPreventsFiring) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelPreventsFiring) {
   bool fired = false;
   const EventId id = queue.Push(1.0, [&] { fired = true; });
   queue.Push(2.0, [] {});
@@ -46,14 +62,62 @@ TEST(EventQueue, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
-TEST(EventQueue, CancelHeadUpdatesNextTime) {
-  EventQueue queue;
+TEST_P(EventQueueTest, CancelHeadUpdatesNextTime) {
   const EventId id = queue.Push(1.0, [] {});
   queue.Push(5.0, [] {});
   EXPECT_DOUBLE_EQ(queue.NextTime(), 1.0);
   queue.Cancel(id);
   EXPECT_DOUBLE_EQ(queue.NextTime(), 5.0);
   EXPECT_EQ(queue.PendingCount(), 1u);
+}
+
+TEST_P(EventQueueTest, EagerCompactionBoundsTombstones) {
+  // Cancel-heavy usage (speculation + chaos) must not grow storage without
+  // bound: tombstones are compacted once they outnumber live events.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4096; ++i) {
+    ids.push_back(queue.Push(1.0 + 0.001 * i, [] {}));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    queue.Cancel(ids[i]);
+    EXPECT_LE(queue.StoredCount(), 2 * queue.PendingCount() + 1);
+  }
+  EXPECT_EQ(queue.PendingCount(), ids.size() / 2);
+}
+
+TEST_P(EventQueueTest, InterleavedPushPopCancelMatchesShadowModel) {
+  // Every Pop must return the minimum (when, id) among the events pending at
+  // that instant; a shadow ordered set is the reference model.
+  std::set<std::pair<double, EventId>> shadow;
+  std::vector<EventId> ids;
+  std::vector<double> whens;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const double when = static_cast<double>((i * 37 + round) % 13);
+      const EventId id = queue.Push(when, [] {});
+      ids.push_back(id);
+      whens.push_back(when);
+      shadow.emplace(when, id);
+    }
+    for (size_t i = 0; i < ids.size(); i += 3) {
+      if (queue.Cancel(ids[i])) {
+        shadow.erase({whens[i], ids[i]});
+      }
+    }
+    for (int i = 0; i < 10 && !queue.Empty(); ++i) {
+      const auto fired = queue.Pop();
+      ASSERT_FALSE(shadow.empty());
+      EXPECT_EQ(std::make_pair(fired.when, fired.id), *shadow.begin());
+      shadow.erase(shadow.begin());
+    }
+  }
+  while (!queue.Empty()) {
+    const auto fired = queue.Pop();
+    ASSERT_FALSE(shadow.empty());
+    EXPECT_EQ(std::make_pair(fired.when, fired.id), *shadow.begin());
+    shadow.erase(shadow.begin());
+  }
+  EXPECT_TRUE(shadow.empty());
 }
 
 TEST(Simulator, ClockAdvancesToEventTimes) {

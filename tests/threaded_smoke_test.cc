@@ -190,8 +190,7 @@ TEST(ThreadedSmoke, MonotaskQueueReprioritizeUnderContention) {
   EXPECT_DOUBLE_EQ(queue.queued_bytes(), 0.0);
 }
 
-TEST(ThreadedSmoke, EventQueuePushCancelPop) {
-  EventQueue queue;
+void EventQueuePushCancelPopImpl(EventQueue& queue) {
   std::atomic<int64_t> fired{0};
   std::atomic<int64_t> pushed{0};
   std::atomic<int64_t> cancelled{0};
@@ -220,8 +219,15 @@ TEST(ThreadedSmoke, EventQueuePushCancelPop) {
   EXPECT_EQ(queue.PendingCount(), 0u);
 }
 
-TEST(ThreadedSmoke, EventQueueConcurrentCancelOfSameEvents) {
-  EventQueue queue;
+TEST(ThreadedSmoke, EventQueuePushCancelPop) {
+  for (const auto kind : {EventQueueKind::kBinaryHeap, EventQueueKind::kCalendar}) {
+    SCOPED_TRACE(EventQueueKindName(kind));
+    auto queue = MakeEventQueue(kind);
+    EventQueuePushCancelPopImpl(*queue);
+  }
+}
+
+void EventQueueConcurrentCancelImpl(EventQueue& queue) {
   std::vector<EventId> ids;
   ids.reserve(1024);
   for (int i = 0; i < 1024; ++i) {
@@ -241,6 +247,14 @@ TEST(ThreadedSmoke, EventQueueConcurrentCancelOfSameEvents) {
     (void)queue.Pop();
   }
   EXPECT_EQ(queue.PendingCount(), 0u);
+}
+
+TEST(ThreadedSmoke, EventQueueConcurrentCancelOfSameEvents) {
+  for (const auto kind : {EventQueueKind::kBinaryHeap, EventQueueKind::kCalendar}) {
+    SCOPED_TRACE(EventQueueKindName(kind));
+    auto queue = MakeEventQueue(kind);
+    EventQueueConcurrentCancelImpl(*queue);
+  }
 }
 
 TEST(ThreadedSmoke, FaultStatsConcurrentRecording) {
