@@ -6,6 +6,30 @@
 
 namespace ursa {
 
+const std::vector<PackingAlgorithmInfo>& PackingAlgorithmRegistry() {
+  static const std::vector<PackingAlgorithmInfo> kRegistry = {
+      {PlacementAlgorithm::kAlgorithm1, "Algorithm1", "alg1",
+       "Ursa's fine-grained placement (Algorithm 1, the default)"},
+      {PlacementAlgorithm::kTetris, "Tetris", "tetris",
+       "multi-dimensional peak-demand packing (whole-task reservations)"},
+      {PlacementAlgorithm::kTetris2, "Tetris2", "tetris2",
+       "Tetris ignoring the network dimension"},
+      {PlacementAlgorithm::kCapacity, "Capacity", "capacity",
+       "YARN Capacity-style greedy most-available-resources"},
+  };
+  return kRegistry;
+}
+
+bool ParsePlacementAlgorithm(const std::string& text, PlacementAlgorithm* out) {
+  for (const PackingAlgorithmInfo& info : PackingAlgorithmRegistry()) {
+    if (text == info.flag || text == info.name) {
+      *out = info.algorithm;
+      return true;
+    }
+  }
+  return false;
+}
+
 PackingState::PackingState(const Cluster* cluster, PlacementAlgorithm algorithm)
     : cluster_(cluster), algorithm_(algorithm) {
   CHECK(algorithm != PlacementAlgorithm::kAlgorithm1);

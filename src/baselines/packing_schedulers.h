@@ -16,6 +16,7 @@
 #define SRC_BASELINES_PACKING_SCHEDULERS_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,23 @@ inline const char* PlacementAlgorithmName(PlacementAlgorithm algorithm) {
   }
   return "?";
 }
+
+// Registry entry for a whole-task placement algorithm. CLI tools and benches
+// iterate the registry instead of hardcoding the contender list, so a new
+// algorithm added here is swept everywhere (DESIGN.md section 13).
+struct PackingAlgorithmInfo {
+  PlacementAlgorithm algorithm;
+  const char* name;         // Display name (PlacementAlgorithmName).
+  const char* flag;         // CLI token, e.g. "tetris2".
+  const char* description;  // One-line summary for --help output.
+};
+
+// All registered algorithms in fixed enum order (deterministic iteration).
+const std::vector<PackingAlgorithmInfo>& PackingAlgorithmRegistry();
+
+// Matches `text` against registry flags and names (exact). Returns false and
+// leaves `*out` untouched when nothing matches.
+bool ParsePlacementAlgorithm(const std::string& text, PlacementAlgorithm* out);
 
 class PackingState {
  public:

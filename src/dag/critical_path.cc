@@ -1,0 +1,181 @@
+#include "src/dag/critical_path.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+std::vector<std::vector<StageId>> StageParents(const ExecutionPlan& plan) {
+  const size_t n = plan.stages().size();
+  std::vector<std::vector<StageId>> parents(n);
+  for (const StageSpec& stage : plan.stages()) {
+    std::vector<StageId>& out = parents[static_cast<size_t>(stage.id)];
+    if (stage.tasks.empty()) {
+      continue;
+    }
+    // Every task of a stage carries the same stage-level dependency shape
+    // (plan.cc assigns identical sync_parent_stages and same-index async
+    // parents to all of them), so the first task is representative.
+    const TaskSpec& task = plan.task(stage.tasks.front());
+    for (StageId p : task.sync_parent_stages) {
+      out.push_back(p);
+    }
+    for (TaskId p : task.async_parents) {
+      out.push_back(plan.task(p).stage);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    out.erase(std::remove(out.begin(), out.end(), stage.id), out.end());
+  }
+  return parents;
+}
+
+namespace {
+
+// Expected total bytes flowing through each stage, via the same
+// topological byte-propagation as ExecutionPlan::ExpectedWorkByResource —
+// skew preserves totals, so these are exact at stage granularity.
+std::vector<double> StageBytes(const ExecutionPlan& plan) {
+  std::vector<double> bytes(plan.stages().size(), 0.0);
+  std::vector<double> dataset_bytes(plan.num_datasets(), 0.0);
+  for (size_t d = 0; d < plan.num_datasets(); ++d) {
+    for (double b : plan.external_sizes(static_cast<DataId>(d))) {
+      dataset_bytes[d] += b;
+    }
+  }
+  for (int ci : plan.cop_topo_order()) {
+    const CollapsedOp& cop = plan.cop(ci);
+    double input = 0.0;
+    for (DataId d : cop.reads) {
+      input += dataset_bytes[static_cast<size_t>(d)];
+    }
+    if (cop.stage != kInvalidId) {
+      bytes[static_cast<size_t>(cop.stage)] += input;
+    }
+    for (DataId d : cop.creates) {
+      dataset_bytes[static_cast<size_t>(d)] = input * cop.cost.output_selectivity;
+    }
+  }
+  return bytes;
+}
+
+// Stage ids in a topological order of the stage DAG (parents first).
+std::vector<StageId> StageTopoOrder(const std::vector<std::vector<StageId>>& parents) {
+  const size_t n = parents.size();
+  std::vector<int> remaining(n, 0);
+  std::vector<std::vector<StageId>> children(n);
+  for (size_t s = 0; s < n; ++s) {
+    remaining[s] = static_cast<int>(parents[s].size());
+    for (StageId p : parents[s]) {
+      children[static_cast<size_t>(p)].push_back(static_cast<StageId>(s));
+    }
+  }
+  std::vector<StageId> order;
+  order.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    if (remaining[s] == 0) {
+      order.push_back(static_cast<StageId>(s));
+    }
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (StageId c : children[static_cast<size_t>(order[i])]) {
+      if (--remaining[static_cast<size_t>(c)] == 0) {
+        order.push_back(c);
+      }
+    }
+  }
+  CHECK_EQ(order.size(), n) << "stage DAG has a cycle";
+  return order;
+}
+
+}  // namespace
+
+StageCriticality AnalyzeStages(const ExecutionPlan& plan, double threshold) {
+  CHECK_GT(threshold, 0.0);
+  CHECK_LE(threshold, 1.0);
+  const size_t n = plan.stages().size();
+  StageCriticality crit;
+  crit.work.assign(n, 0.0);
+  crit.top_level.assign(n, 0.0);
+  crit.bottom_level.assign(n, 0.0);
+  crit.troublesome.assign(n, false);
+  if (n == 0) {
+    return crit;
+  }
+
+  const std::vector<double> bytes = StageBytes(plan);
+  for (size_t s = 0; s < n; ++s) {
+    const int tasks = std::max(1, plan.stage(static_cast<StageId>(s)).num_tasks);
+    crit.work[s] = bytes[s] / static_cast<double>(tasks);
+  }
+
+  const std::vector<std::vector<StageId>> parents = StageParents(plan);
+  std::vector<std::vector<StageId>> children(n);
+  for (size_t s = 0; s < n; ++s) {
+    for (StageId p : parents[s]) {
+      children[static_cast<size_t>(p)].push_back(static_cast<StageId>(s));
+    }
+  }
+  const std::vector<StageId> topo = StageTopoOrder(parents);
+
+  // Heaviest paths: parents-first for top levels, children-first (reverse
+  // topo) for bottom levels. Both include the stage's own work.
+  for (StageId s : topo) {
+    double best = 0.0;
+    for (StageId p : parents[static_cast<size_t>(s)]) {
+      best = std::max(best, crit.top_level[static_cast<size_t>(p)]);
+    }
+    crit.top_level[static_cast<size_t>(s)] = best + crit.work[static_cast<size_t>(s)];
+  }
+  for (size_t i = topo.size(); i-- > 0;) {
+    const StageId s = topo[i];
+    double best = 0.0;
+    for (StageId c : children[static_cast<size_t>(s)]) {
+      best = std::max(best, crit.bottom_level[static_cast<size_t>(c)]);
+    }
+    crit.bottom_level[static_cast<size_t>(s)] = best + crit.work[static_cast<size_t>(s)];
+  }
+  for (size_t s = 0; s < n; ++s) {
+    crit.critical_path = std::max(
+        crit.critical_path, crit.top_level[s] + crit.bottom_level[s] - crit.work[s]);
+  }
+
+  // Long-pole seed set: stages whose heaviest through-path reaches the
+  // threshold share of the critical path. The maximizing stages always
+  // qualify, so the subset is nonempty for any threshold <= 1.
+  for (size_t s = 0; s < n; ++s) {
+    const double through = crit.top_level[s] + crit.bottom_level[s] - crit.work[s];
+    crit.troublesome[s] = through >= threshold * crit.critical_path;
+  }
+
+  // Convex closure: a stage strictly between two troublesome stages joins
+  // the subset. Transitivity makes one ancestor/descendant sweep a fixpoint.
+  std::vector<char> t_anc(n, 0);   // Has a troublesome proper ancestor.
+  std::vector<char> t_desc(n, 0);  // Has a troublesome proper descendant.
+  for (StageId s : topo) {
+    for (StageId p : parents[static_cast<size_t>(s)]) {
+      if (crit.troublesome[static_cast<size_t>(p)] || t_anc[static_cast<size_t>(p)]) {
+        t_anc[static_cast<size_t>(s)] = 1;
+        break;
+      }
+    }
+  }
+  for (size_t i = topo.size(); i-- > 0;) {
+    const StageId s = topo[i];
+    for (StageId c : children[static_cast<size_t>(s)]) {
+      if (crit.troublesome[static_cast<size_t>(c)] || t_desc[static_cast<size_t>(c)]) {
+        t_desc[static_cast<size_t>(s)] = 1;
+        break;
+      }
+    }
+  }
+  for (size_t s = 0; s < n; ++s) {
+    if (t_anc[s] != 0 && t_desc[s] != 0) {
+      crit.troublesome[s] = true;
+    }
+  }
+  return crit;
+}
+
+}  // namespace ursa

@@ -1,0 +1,73 @@
+// Stage-level critical-path analysis for DAG-aware scheduling policies
+// (DESIGN.md section 13).
+//
+// Graphene-style ordering ("Do the Hard Stuff First", PAPERS.md) needs to
+// know, per job DAG, which stages sit on the long pole. This module derives
+// a stage-level precedence DAG from the execution plan (async parent tasks
+// and sync parent stages), estimates per-stage work with the same
+// byte-propagation model that seeds SRJF's remaining-work vector, and
+// computes:
+//
+//   work[s]          expected per-task service bytes of stage s (total stage
+//                    bytes / tasks: the duration proxy for path lengths);
+//   top_level[s]     heaviest work path from any root down to s, inclusive;
+//   bottom_level[s]  heaviest work path from s, inclusive, to any sink;
+//   critical_path    max over stages of top + bottom - work;
+//   troublesome[s]   s is in the job's troublesome subset.
+//
+// The troublesome subset is seeded with the long-pole stages — those whose
+// heaviest through-path top+bottom-work reaches at least `threshold` of the
+// critical path — and then closed convexly: any stage with both a
+// troublesome ancestor and a troublesome descendant joins the subset, so
+// ordering the subset first never strands a member behind a non-member it
+// depends on. One closure pass is a fixpoint because ancestor/descendant
+// relations are transitive (a stage qualifying through an added member also
+// qualifies through that member's own seed ancestor/descendant).
+//
+// Everything here is pure arithmetic over the plan: no clocks, no
+// randomness, no pointers as keys — safe for the bit-identical determinism
+// contract of the scheduler core.
+#ifndef SRC_DAG_CRITICAL_PATH_H_
+#define SRC_DAG_CRITICAL_PATH_H_
+
+#include <vector>
+
+#include "src/dag/plan.h"
+
+namespace ursa {
+
+struct StageCriticality {
+  std::vector<double> work;          // Per-task expected bytes, per stage.
+  std::vector<double> top_level;     // Root-to-stage heaviest path, inclusive.
+  std::vector<double> bottom_level;  // Stage-to-sink heaviest path, inclusive.
+  std::vector<bool> troublesome;     // Long-pole subset, convexly closed.
+  double critical_path = 0.0;        // Heaviest root-to-sink path weight.
+
+  bool IsTroublesome(StageId s) const {
+    return s >= 0 && static_cast<size_t>(s) < troublesome.size() &&
+           troublesome[static_cast<size_t>(s)];
+  }
+  // Normalized urgency of a troublesome stage: how much of the critical path
+  // still hangs below it. In [0, 1]; 0 for non-troublesome stages.
+  double BottomShare(StageId s) const {
+    if (!IsTroublesome(s) || critical_path <= 0.0) {
+      return 0.0;
+    }
+    return bottom_level[static_cast<size_t>(s)] / critical_path;
+  }
+};
+
+// Stage-level parent lists (deduplicated, ascending) derived from the plan's
+// task-level async parents and stage-level sync barriers. Exposed for the
+// policy property tests.
+std::vector<std::vector<StageId>> StageParents(const ExecutionPlan& plan);
+
+// Full analysis of one plan. `threshold` in (0, 1]: the long-pole membership
+// bar as a fraction of the critical path. The troublesome subset is never
+// empty when the plan has stages (the critical path's own stages always
+// qualify at any threshold <= 1).
+StageCriticality AnalyzeStages(const ExecutionPlan& plan, double threshold);
+
+}  // namespace ursa
+
+#endif  // SRC_DAG_CRITICAL_PATH_H_

@@ -186,6 +186,20 @@ ExperimentConfig UrsaSrjfConfig() {
   return config;
 }
 
+ExperimentConfig UrsaGrapheneConfig() {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kUrsa;
+  config.ursa.policy = OrderingPolicy::kGraphene;
+  return config;
+}
+
+ExperimentConfig UrsaOrderingConfig(OrderingPolicy policy) {
+  ExperimentConfig config;
+  config.kind = SchedulerKind::kUrsa;
+  config.ursa.policy = policy;
+  return config;
+}
+
 ExperimentConfig SparkLikeConfig() {
   ExperimentConfig config;
   config.kind = SchedulerKind::kExecutorModel;

@@ -640,6 +640,25 @@ int JobManager::CountPlacedTasks() const {
   return placed;
 }
 
+void JobManager::CollectPlacedStages(std::vector<std::pair<WorkerId, StageId>>* out) const {
+  if (aborted_) {
+    return;
+  }
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    const TaskRuntime& rt = tasks_[t];
+    if (rt.state != TaskState::kPlaced) {
+      continue;
+    }
+    const StageId stage = plan().task(static_cast<TaskId>(t)).stage;
+    if (rt.worker != kInvalidId && !rt.primary_lost) {
+      out->emplace_back(rt.worker, stage);
+    }
+    if (rt.spec != nullptr && rt.spec->worker != kInvalidId) {
+      out->emplace_back(rt.spec->worker, stage);
+    }
+  }
+}
+
 void JobManager::CollectStragglerCandidates(double now,
                                             std::vector<StragglerCandidate>* out) const {
   if (spec_manager_ == nullptr || aborted_ || finished()) {

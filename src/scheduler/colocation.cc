@@ -1,0 +1,97 @@
+#include "src/scheduler/colocation.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+int ColocationLearner::InternKey(const std::string& klass, const std::string& stage_name) {
+  const auto ident = std::make_pair(klass, stage_name);
+  const auto it = key_index_.find(ident);
+  if (it != key_index_.end()) {
+    return it->second;
+  }
+  const int key = static_cast<int>(key_index_.size());
+  key_index_.emplace(ident, key);
+  return key;
+}
+
+int ColocationLearner::FindKey(const std::string& klass,
+                               const std::string& stage_name) const {
+  const auto it = key_index_.find(std::make_pair(klass, stage_name));
+  return it != key_index_.end() ? it->second : -1;
+}
+
+void ColocationLearner::ObserveTick(const std::vector<std::vector<int>>& residents,
+                                    const std::vector<double>& contention) {
+  CHECK_EQ(residents.size(), contention.size());
+  for (size_t w = 0; w < residents.size(); ++w) {
+    const std::vector<int>& keys = residents[w];
+    if (keys.size() < 2) {
+      continue;  // Interference needs at least two co-residents.
+    }
+    const double sample = std::clamp(contention[w], 0.0, 1.0);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t j = i + 1; j < keys.size(); ++j) {
+        if (keys[i] == keys[j]) {
+          continue;  // Two tasks of the same stage carry no pair signal.
+        }
+        const auto pair = std::minmax(keys[i], keys[j]);
+        auto [it, inserted] = pair_contention_.emplace(pair, sample);
+        if (!inserted) {
+          it->second += config_.ema_alpha * (sample - it->second);
+        }
+        ++observations_;
+      }
+    }
+  }
+}
+
+double ColocationLearner::Complementarity(int a, int b) const {
+  if (a < 0 || b < 0 || a == b) {
+    return 0.0;
+  }
+  const auto it = pair_contention_.find(std::minmax(a, b));
+  if (it == pair_contention_.end()) {
+    return 0.0;  // Never co-resided: neutral.
+  }
+  // Contention EMA in [0, 1] -> complementarity in [-1, 1].
+  return 1.0 - 2.0 * std::clamp(it->second, 0.0, 1.0);
+}
+
+double ColocationLearner::PlacementBonus(int key,
+                                         const std::vector<int>& residents_on_worker) const {
+  if (key < 0 || residents_on_worker.empty()) {
+    return 0.0;
+  }
+  // Attraction-only: reward workers whose residents the candidate stage has
+  // historically co-run with at low contention, but never penalize below the
+  // base score — a negative bonus would systematically repel tasks from busy
+  // workers, undoing Algorithm 1's preference for filling partially loaded
+  // machines.
+  double sum = 0.0;
+  for (const int resident : residents_on_worker) {
+    sum += std::max(0.0, Complementarity(key, resident));
+  }
+  return sum / static_cast<double>(residents_on_worker.size());
+}
+
+bool HugoScorePolicy::Score(const TaskUsage& usage, const WorkerLoad& load,
+                            WorkerId worker, double ept,
+                            const int headroom[kNumMonotaskResources],
+                            bool consider_network, const ScoreContext& ctx,
+                            double* out_score) const {
+  if (!base_->Score(usage, load, worker, ept, headroom, consider_network, ctx,
+                    out_score)) {
+    return false;
+  }
+  if (ctx.stage_key >= 0 && ctx.residents != nullptr &&
+      static_cast<size_t>(worker) < ctx.residents->size()) {
+    *out_score += weight_ * learner_->PlacementBonus(
+                                ctx.stage_key, (*ctx.residents)[static_cast<size_t>(worker)]);
+  }
+  return true;
+}
+
+}  // namespace ursa

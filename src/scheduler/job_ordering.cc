@@ -19,10 +19,44 @@ double SrjfRank(const std::array<double, kNumMonotaskResources>& remaining,
 
 double PlacementPriorityBonus(OrderingPolicy policy, double weight, double elapsed,
                               double srjf_rank) {
+  if (policy == OrderingPolicy::kGraphene) {
+    // The stage-level troublesome term is added by the scheduler; the job
+    // term defers to the configured base policy (resolved by the caller via
+    // EffectiveJobPolicy, which never yields kGraphene).
+    policy = OrderingPolicy::kSrjf;
+  }
   if (policy == OrderingPolicy::kEjf) {
     return weight * elapsed;
   }
   return weight / (srjf_rank + 1e-3);
+}
+
+double GrapheneStageBonus(double stage_weight, bool troublesome, double bottom_share) {
+  if (!troublesome) {
+    return 0.0;
+  }
+  return stage_weight * (1.0 + std::clamp(bottom_share, 0.0, 1.0));
+}
+
+const std::vector<OrderingPolicyInfo>& OrderingPolicyRegistry() {
+  static const std::vector<OrderingPolicyInfo> kRegistry = {
+      {OrderingPolicy::kEjf, "EJF", "ejf", "Earliest Job First (section 4.2.2)"},
+      {OrderingPolicy::kSrjf, "SRJF", "srjf",
+       "Smallest Remaining Job First (section 4.2.2)"},
+      {OrderingPolicy::kGraphene, "GRAPHENE", "graphene",
+       "Troublesome-subset-first DAG ordering (DESIGN.md section 13)"},
+  };
+  return kRegistry;
+}
+
+bool ParseOrderingPolicy(const std::string& flag, OrderingPolicy* out) {
+  for (const OrderingPolicyInfo& info : OrderingPolicyRegistry()) {
+    if (flag == info.flag || flag == info.name) {
+      *out = info.policy;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace ursa

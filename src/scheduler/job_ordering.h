@@ -1,14 +1,22 @@
-// Job ordering policies (section 4.2.2, "Job ordering").
+// Job ordering policies (section 4.2.2, "Job ordering"; DESIGN.md
+// section 13).
 //
 // Ursa supports Earliest Job First (EJF) and Smallest Remaining Job First
 // (SRJF). Both are enforced in three places: job admission order, a weighted
 // term added to the placement score of each stage, and the ordering of
-// monotasks in worker queues. This header provides the rank computations;
-// the scheduler wires them into those three mechanisms.
+// monotasks in worker queues. Graphene-style troublesome-first ordering
+// (DAGPS, PAPERS.md) layers a DAG-aware stage term on top of a base job
+// policy: each job's long-pole stage subset (src/dag/critical_path.h) gets a
+// placement-score boost so the hard stuff schedules first, while admission
+// and queue order follow the base policy. This header provides the rank
+// computations and the policy registry; the scheduler wires them into the
+// enforcement mechanisms.
 #ifndef SRC_SCHEDULER_JOB_ORDERING_H_
 #define SRC_SCHEDULER_JOB_ORDERING_H_
 
 #include <array>
+#include <string>
+#include <vector>
 
 #include "src/dag/types.h"
 
@@ -17,10 +25,48 @@ namespace ursa {
 enum class OrderingPolicy : int {
   kEjf = 0,
   kSrjf = 1,
+  kGraphene = 2,  // Troublesome-subset-first on top of a base policy.
 };
 
 inline const char* OrderingPolicyName(OrderingPolicy p) {
-  return p == OrderingPolicy::kEjf ? "EJF" : "SRJF";
+  switch (p) {
+    case OrderingPolicy::kEjf:
+      return "EJF";
+    case OrderingPolicy::kSrjf:
+      return "SRJF";
+    case OrderingPolicy::kGraphene:
+      return "GRAPHENE";
+  }
+  return "?";
+}
+
+// Graphene-style ordering knobs (used when the policy is kGraphene).
+struct GrapheneConfig {
+  // Long-pole membership bar: a stage is troublesome when its heaviest
+  // through-path reaches this fraction of the job's critical path. The
+  // default keeps the subset tight (true long poles only); lowering it
+  // drags in near-critical stages, which dilutes the boost
+  // (bench_policy_compare sweeps this).
+  double threshold = 0.9;
+  // Weight of the troublesome-stage placement bonus. Sized against
+  // priority_weight so it reorders stages *within* a job (where the job
+  // term is constant) and between closely ranked jobs, without overriding
+  // large base-policy gaps.
+  double stage_weight = 150.0;
+  // Job-level policy beneath the stage term (admission order, queue
+  // priorities, job placement term). Must be kEjf or kSrjf.
+  OrderingPolicy base = OrderingPolicy::kSrjf;
+};
+
+// The job-level policy actually enforced at admission / queue granularity:
+// the policy itself, or its configured base for kGraphene.
+inline OrderingPolicy EffectiveJobPolicy(OrderingPolicy policy,
+                                         const GrapheneConfig& graphene) {
+  if (policy != OrderingPolicy::kGraphene) {
+    return policy;
+  }
+  return graphene.base == OrderingPolicy::kGraphene ? OrderingPolicy::kSrjf
+                                                    : graphene.base;
 }
 
 // SRJF rank of a job: the dot product of (2L - R) and R with both sides
@@ -35,8 +81,29 @@ double SrjfRank(const std::array<double, kNumMonotaskResources>& remaining,
 
 // Priority *bonus* added to a stage's placement score for this job.
 // EJF: W * elapsed-since-submission. SRJF: W / (rank + epsilon).
+// kGraphene resolves to its base policy's job term here; the troublesome
+// stage term is added separately by the scheduler.
 double PlacementPriorityBonus(OrderingPolicy policy, double weight, double elapsed,
                               double srjf_rank);
+
+// Graphene's DAG-aware stage term: stage_weight * (1 + bottom_share) for a
+// troublesome stage (bottom_share in [0, 1]: how much of the critical path
+// still hangs below it, so deeper long-pole stages outrank shallower ones),
+// 0 for the rest.
+double GrapheneStageBonus(double stage_weight, bool troublesome, double bottom_share);
+
+struct OrderingPolicyInfo {
+  OrderingPolicy policy;
+  const char* name;  // Table/report spelling (EJF, SRJF, GRAPHENE).
+  const char* flag;  // CLI spelling (ursa-<flag>).
+  const char* description;
+};
+
+// All registered ordering policies in enum order. Drives CLI parsing,
+// bench_table6_ordering's columns and bench_policy_compare's sweep, so a
+// new policy lands in every surface by registering here.
+const std::vector<OrderingPolicyInfo>& OrderingPolicyRegistry();
+bool ParseOrderingPolicy(const std::string& flag, OrderingPolicy* out);
 
 }  // namespace ursa
 

@@ -17,6 +17,20 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
   CHECK_GT(config_.scheduling_interval, 0.0);
   CHECK_GE(config_.ept_slack, 1.0);
   CHECK_GT(config_.max_scored_pairs_per_tick, 0u);
+  CHECK(config_.graphene.base != OrderingPolicy::kGraphene)
+      << "graphene's base job policy must be EJF or SRJF";
+  // Assemble the worker-score policy stack (DESIGN.md section 13): the
+  // configured base score, optionally decorated with the Hugo co-location
+  // bonus. The bucketed scan is only sound for bucketable policies.
+  std::unique_ptr<PlacementScorePolicy> base_score = MakeScorePolicy(config_.score);
+  if (config_.colocation.enabled) {
+    colocation_ = std::make_unique<ColocationLearner>(config_.colocation);
+    score_policy_ = std::make_unique<HugoScorePolicy>(
+        std::move(base_score), colocation_.get(), config_.colocation.weight);
+  } else {
+    score_policy_ = std::move(base_score);
+  }
+  prune_effective_ = config_.prune_placement && score_policy_->bucketable();
   if (config_.incremental_loads) {
     for (int w = 0; w < cluster_->size(); ++w) {
       cluster_->worker(w).set_load_listener([this](WorkerId id) { MarkLoadDirty(id); });
@@ -256,6 +270,21 @@ void UrsaScheduler::StartJobManager(JobEntry& entry) {
   // EJF queue priority: admission (submission) order. SRJF ranks are
   // refreshed every tick.
   entry.jm->set_priority(config_.enable_monotask_ordering ? entry.job->submit_time : 0.0);
+  // Graphene: the per-stage critical-path analysis is a pure function of the
+  // plan, so one computation per job survives restarts.
+  if (config_.policy == OrderingPolicy::kGraphene && entry.crit.work.empty()) {
+    entry.crit = AnalyzeStages(entry.job->plan, config_.graphene.threshold);
+  }
+  // Colocation: intern each stage's (job class, stage name) identity once so
+  // the per-tick residency snapshot is an integer-only pass.
+  if (colocation_ != nullptr && entry.stage_keys.empty()) {
+    entry.stage_keys.reserve(entry.job->plan.stages().size());
+    for (const StageSpec& stage : entry.job->plan.stages()) {
+      const std::string& name =
+          !stage.name.empty() ? stage.name : "stage" + std::to_string(stage.id);
+      entry.stage_keys.push_back(colocation_->InternKey(entry.job->spec.klass, name));
+    }
+  }
   entry.jm->ConfigureFaultPolicy(config_.fault.max_monotask_attempts,
                                  config_.fault.retry_backoff_base,
                                  config_.fault.retry_backoff_cap, &fault_stats_);
@@ -360,6 +389,7 @@ void UrsaScheduler::Tick() {
   }
   TryAdmitJobs();
   RefreshPriorities();
+  ObserveColocation();
   const PlacementStats stats = RunPlacement();
   // Graceful degradation: under kDegrade backpressure the speculation pass is
   // suspended — duplicate copies are pure overhead when the cluster is
@@ -388,8 +418,10 @@ void UrsaScheduler::TryAdmitJobs() {
       return;
     }
     // Admission order follows the job-ordering policy when JO is enabled,
-    // otherwise plain submission order.
-    if (config_.enable_job_ordering && config_.policy == OrderingPolicy::kSrjf) {
+    // otherwise plain submission order. Graphene defers to its base job
+    // policy here — its DAG-awareness acts at stage-placement granularity.
+    if (config_.enable_job_ordering &&
+        EffectiveJobPolicy(config_.policy, config_.graphene) == OrderingPolicy::kSrjf) {
       // Rank by expected remaining work against the total load of admitted +
       // waiting jobs.
       std::array<double, kNumMonotaskResources> total_load = {0.0, 0.0, 0.0};
@@ -503,7 +535,7 @@ void UrsaScheduler::TryAdmitJobs() {
 }
 
 void UrsaScheduler::RefreshPriorities() {
-  if (config_.policy != OrderingPolicy::kSrjf) {
+  if (EffectiveJobPolicy(config_.policy, config_.graphene) != OrderingPolicy::kSrjf) {
     return;
   }
   std::array<double, kNumMonotaskResources> load = {0.0, 0.0, 0.0};
@@ -559,7 +591,7 @@ void UrsaScheduler::ComputeWorkerLoad(const Worker& worker, double ept,
       worker.free_memory() / worker.memory_capacity();
 }
 
-std::vector<UrsaScheduler::WorkerLoad> UrsaScheduler::SnapshotLoads() const {
+std::vector<WorkerLoad> UrsaScheduler::SnapshotLoads() const {
   const double ept = config_.scheduling_interval * config_.ept_slack;
   std::vector<WorkerLoad> loads(static_cast<size_t>(cluster_->size()));
   for (int w = 0; w < cluster_->size(); ++w) {
@@ -576,7 +608,7 @@ void UrsaScheduler::MarkLoadDirty(WorkerId w) {
   load_cache_.dirty_list.push_back(w);
 }
 
-const std::vector<UrsaScheduler::WorkerLoad>& UrsaScheduler::CurrentLoads() {
+const std::vector<WorkerLoad>& UrsaScheduler::CurrentLoads() {
   const double ept = config_.scheduling_interval * config_.ept_slack;
   bool changed = false;
   if (!config_.incremental_loads || !load_cache_.primed) {
@@ -625,20 +657,10 @@ const std::vector<UrsaScheduler::WorkerLoad>& UrsaScheduler::CurrentLoads() {
   if (changed) {
     scan_stale_ = true;
   }
-  if (scan_stale_ && config_.prune_placement) {
+  if (scan_stale_ && prune_effective_) {
     RebuildScanOrder();
   }
   return load_cache_.loads;
-}
-
-double UrsaScheduler::LoadUb(const WorkerLoad& load) {
-  double ub = 1e-4;
-  for (int r = 0; r < kNumMonotaskResources; ++r) {
-    ub += load.d[r] * load.d[r];
-  }
-  const double d_mem = load.d[static_cast<size_t>(ResourceDim::kMemory)];
-  ub += d_mem * d_mem;
-  return ub;
 }
 
 uint32_t UrsaScheduler::LoadMask(const WorkerLoad& load) {
@@ -694,7 +716,7 @@ void UrsaScheduler::OverlayApply(WorkerId w, const TaskUsage& usage, double ept,
     target = static_cast<int32_t>(overlay_buckets_.size());
     OverlayBucket bucket;
     bucket.load = load;
-    bucket.ub = LoadUb(load);
+    bucket.ub = score_policy_->UpperBound(load);
     bucket.mask = LoadMask(load);
     overlay_buckets_.push_back(std::move(bucket));
     hits.push_back(target);
@@ -734,9 +756,10 @@ void UrsaScheduler::RebuildScanOrder() {
     const WorkerLoad& load = loads[static_cast<size_t>(order[i])];
     ScanBucket bucket;
     // The bucket's upper bound is valid for the whole tick: every d only
-    // decreases as placements are applied, and modified workers leave the
-    // bucket's fresh set via the overlay.
-    bucket.ub = LoadUb(load);
+    // decreases as placements are applied (the policy contract requires UB
+    // monotone in the load), and modified workers leave the bucket's fresh
+    // set via the overlay.
+    bucket.ub = score_policy_->UpperBound(load);
     bucket.mask = LoadMask(load);
     size_t j = i;
     while (j < order.size() &&
@@ -772,62 +795,23 @@ void UrsaScheduler::CountHeadroom(const std::vector<WorkerLoad>& loads,
   }
 }
 
-bool UrsaScheduler::ScoreWorker(const TaskUsage& usage, const WorkerLoad& load, double ept,
-                                const int headroom[kNumMonotaskResources],
-                                bool consider_network, double* out_score) {
-  if (usage.memory > load.free_memory) {
-    return false;
-  }
-  double score = 0.0;
-  for (int r = 0; r < kNumMonotaskResources; ++r) {
-    if (!consider_network && static_cast<ResourceType>(r) == ResourceType::kNetwork) {
-      continue;
-    }
-    if (usage.bytes[r] <= 0.0) {
-      continue;
-    }
-    double inc = usage.bytes[r] / std::max(load.rate[r], 1.0) / ept;
-    // The D_r == 0 skip rule (section 4.2.2) only helps while some worker
-    // still has headroom in r to steer toward; when the whole cluster is
-    // backlogged on r, refusing every worker would merely idle the other
-    // resources, so the rule is suspended for that dimension.
-    if (load.d[r] <= 0.0 && headroom[r] > 0) {
-      return false;  // Assigning t here would block on resource r.
-    }
-    inc = std::min(inc, load.d[r]);
-    score += load.d[r] * inc;
-  }
-  // Memory dimension, normalized by capacity so all dims are O(1).
-  const double d_mem = load.d[static_cast<size_t>(ResourceDim::kMemory)];
-  if (d_mem <= 0.0) {
-    return false;
-  }
-  const double inc_mem = std::min(usage.memory / load.memory_capacity, d_mem);
-  score += d_mem * inc_mem;
-  // Saturation tie-breaker: among equally (un)attractive workers, prefer
-  // the one whose queues for the task's resources are shortest.
-  double backlog = 0.0;
-  for (int r = 0; r < kNumMonotaskResources; ++r) {
-    if (usage.bytes[r] > 0.0) {
-      backlog += load.apt[r];
-    }
-  }
-  score += 1e-4 / (1.0 + backlog);
-  *out_score = score;
-  return true;
-}
-
 bool UrsaScheduler::BestWorker(const TaskUsage& usage, const LoadView& view, double ept,
-                               WorkerId* out_worker, double* out_score,
+                               WorkerId* out_worker, double* out_score, int stage_key,
                                WorkerId avoid) const {
   ++counters_.bestworker_calls;
+  // Scoring context for the active policy: the placed stage's co-location
+  // key and the per-worker residency snapshot (null when learning is off).
+  ScoreContext ctx;
+  ctx.stage_key = stage_key;
+  ctx.residents = colocation_ != nullptr ? &residents_ : nullptr;
+  const PlacementScorePolicy& policy = *score_policy_;
   double best_score = -1.0;
   WorkerId best = kInvalidId;
   // The avoided worker's own best score, tracked in the same pass; consulted
   // only when no other worker qualifies.
   double avoid_score = -1.0;
   bool avoid_ok = false;
-  if (config_.prune_placement && !scan_order_.empty()) {
+  if (prune_effective_ && !scan_order_.empty()) {
     // Pruned scan, pass 1: buckets in (upper bound desc, min worker asc)
     // order. Fresh members of a bucket share one bit-identical load, so one
     // ScoreWorker call scores them all and min-index-wins picks the smallest
@@ -874,8 +858,8 @@ bool UrsaScheduler::BestWorker(const TaskUsage& usage, const LoadView& view, dou
       }
       const WorkerId probe = fresh != kInvalidId ? fresh : avoid;
       double score = 0.0;
-      if (!ScoreWorker(usage, (*view.base)[static_cast<size_t>(probe)], ept,
-                       view.headroom, config_.consider_network, &score)) {
+      if (!policy.Score(usage, (*view.base)[static_cast<size_t>(probe)], probe, ept,
+                        view.headroom, config_.consider_network, ctx, &score)) {
         continue;
       }
       if (avoid_fresh) {
@@ -914,8 +898,8 @@ bool UrsaScheduler::BestWorker(const TaskUsage& usage, const LoadView& view, dou
           cand = bucket.members.size() > 1 ? bucket.members[1] : kInvalidId;
         }
         double score = 0.0;
-        if (!ScoreWorker(usage, bucket.load, ept, view.headroom,
-                         config_.consider_network, &score)) {
+        if (!policy.Score(usage, bucket.load, cand != kInvalidId ? cand : avoid, ept,
+                          view.headroom, config_.consider_network, ctx, &score)) {
           continue;
         }
         if (avoid_here) {
@@ -934,8 +918,8 @@ bool UrsaScheduler::BestWorker(const TaskUsage& usage, const LoadView& view, dou
     for (size_t w = 0; w < n; ++w) {
       ++counters_.workers_scanned;
       double score = 0.0;
-      if (!ScoreWorker(usage, view.at(w), ept, view.headroom, config_.consider_network,
-                       &score)) {
+      if (!policy.Score(usage, view.at(w), static_cast<WorkerId>(w), ept, view.headroom,
+                        config_.consider_network, ctx, &score)) {
         continue;
       }
       if (static_cast<WorkerId>(w) == avoid) {
@@ -1002,12 +986,13 @@ UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(
   view.slot = &overlay_slot_;
   view.mods = &overlay_buckets_;
   view.headroom = headroom;
+  const int stage_key = StageKey(entry, stage);
   double score_sum = 0.0;
   for (TaskId t : tasks) {
     const TaskUsage usage = entry.jm->GetUsage(t);
     WorkerId w = kInvalidId;
     double f = 0.0;
-    if (!BestWorker(usage, view, ept, &w, &f, entry.jm->avoided_worker(t))) {
+    if (!BestWorker(usage, view, ept, &w, &f, stage_key, entry.jm->avoided_worker(t))) {
       plan.complete = false;  // stage_bonus <- 0 in Algorithm 1.
       continue;
     }
@@ -1025,11 +1010,66 @@ UrsaScheduler::StagePlan UrsaScheduler::ScoreStage(
     plan.score += config_.stage_bonus;
   }
   if (config_.enable_job_ordering) {
-    plan.score += PlacementPriorityBonus(config_.policy, config_.priority_weight,
-                                         sim_->Now() - entry.job->submit_time,
-                                         entry.srjf_rank);
+    plan.score += PlacementPriorityBonus(
+        EffectiveJobPolicy(config_.policy, config_.graphene), config_.priority_weight,
+        sim_->Now() - entry.job->submit_time, entry.srjf_rank);
+    if (config_.policy == OrderingPolicy::kGraphene) {
+      // "Do the hard stuff first": troublesome stages outrank the rest of
+      // their job (the job term above is constant within a job), deeper
+      // long-pole stages first.
+      plan.score += GrapheneStageBonus(config_.graphene.stage_weight,
+                                       entry.crit.IsTroublesome(stage),
+                                       entry.crit.BottomShare(stage));
+    }
   }
   return plan;
+}
+
+int UrsaScheduler::StageKey(const JobEntry& entry, StageId stage) const {
+  if (colocation_ == nullptr || entry.stage_keys.empty() || stage < 0 ||
+      static_cast<size_t>(stage) >= entry.stage_keys.size()) {
+    return -1;
+  }
+  return entry.stage_keys[static_cast<size_t>(stage)];
+}
+
+void UrsaScheduler::ObserveColocation() {
+  if (colocation_ == nullptr) {
+    return;
+  }
+  // Residency snapshot, rebuilt from scratch every tick so failures,
+  // restarts and races never leave stale keys behind. Jobs are walked in id
+  // order and each worker's key list is sorted, so the learner sees a
+  // deterministic observation stream.
+  residents_.assign(static_cast<size_t>(cluster_->size()), {});
+  std::vector<std::pair<WorkerId, StageId>> placed;
+  for (const auto& entry : jobs_) {
+    if (!entry->admitted || entry->finished) {
+      continue;
+    }
+    placed.clear();
+    entry->jm->CollectPlacedStages(&placed);
+    for (const auto& [w, s] : placed) {
+      residents_[static_cast<size_t>(w)].push_back(StageKey(*entry, s));
+    }
+  }
+  for (std::vector<int>& keys : residents_) {
+    std::sort(keys.begin(), keys.end());
+  }
+  // Contention signal: the worker's APT backlog normalized by EPT, averaged
+  // over the monotask resources — 0 when idle, 1 when every queue is at
+  // least one scheduling interval deep.
+  const double ept = config_.scheduling_interval * config_.ept_slack;
+  const std::vector<WorkerLoad>& loads = CurrentLoads();
+  std::vector<double> contention(loads.size(), 0.0);
+  for (size_t w = 0; w < loads.size(); ++w) {
+    double backlog = 0.0;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      backlog += std::min(1.0, loads[w].apt[r] / ept);
+    }
+    contention[w] = backlog / static_cast<double>(kNumMonotaskResources);
+  }
+  colocation_->ObserveTick(residents_, contention);
 }
 
 UrsaScheduler::PlacementStats UrsaScheduler::RunPackingPlacement() {
@@ -1109,12 +1149,14 @@ void UrsaScheduler::RunSpeculation() {
       usage.bytes[r] = cand.bytes[r];
     }
     usage.memory = cand.memory;
+    JobEntry& entry = *jobs_[static_cast<size_t>(cand.job)];
+    const int stage_key = StageKey(entry, entry.job->plan.task(cand.task).stage);
     WorkerId w = kInvalidId;
     double f = 0.0;
-    if (!BestWorker(usage, view, ept, &w, &f, cand.worker) || w == cand.worker) {
+    if (!BestWorker(usage, view, ept, &w, &f, stage_key, cand.worker) ||
+        w == cand.worker) {
       continue;  // No eligible worker besides the straggling one.
     }
-    JobEntry& entry = *jobs_[static_cast<size_t>(cand.job)];
     if (!entry.jm->PlaceSpeculative(cand.task, w)) {
       continue;
     }
@@ -1233,7 +1275,8 @@ UrsaScheduler::PlacementStats UrsaScheduler::RunPlacement() {
       const TaskUsage usage = c.entry->jm->GetUsage(t);
       WorkerId w = kInvalidId;
       double f = 0.0;
-      if (!BestWorker(usage, view, ept, &w, &f, c.entry->jm->avoided_worker(t))) {
+      if (!BestWorker(usage, view, ept, &w, &f, StageKey(*c.entry, c.stage),
+                      c.entry->jm->avoided_worker(t))) {
         continue;
       }
       if (c.entry->jm->PlaceTask(t, w)) {

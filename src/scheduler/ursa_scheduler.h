@@ -29,13 +29,16 @@
 
 #include "src/baselines/packing_schedulers.h"
 #include "src/common/mutex.h"
+#include "src/dag/critical_path.h"
 #include "src/exec/cluster.h"
 #include "src/exec/job_manager.h"
 #include "src/fault/failure_detector.h"
 #include "src/fault/fault_stats.h"
 #include "src/metrics/metrics.h"
 #include "src/scheduler/admission.h"
+#include "src/scheduler/colocation.h"
 #include "src/scheduler/job_ordering.h"
+#include "src/scheduler/placement_policy.h"
 #include "src/spec/speculation.h"
 
 namespace ursa {
@@ -47,6 +50,9 @@ struct UrsaSchedulerConfig {
   // to absorb scheduler/JM/worker communication delay; section 4.2.2).
   double ept_slack = 1.3;
   OrderingPolicy policy = OrderingPolicy::kEjf;
+  // Graphene-style ordering knobs (policy == kGraphene only): long-pole
+  // threshold, stage-bonus weight and the base job-level policy.
+  GrapheneConfig graphene;
   // Weight W of the job-priority term added to stage placement scores
   // ("how much EJF should be enforced", section 4.2.2). Large enough that
   // job order dominates the O(1) load-match score once submissions are
@@ -57,6 +63,15 @@ struct UrsaSchedulerConfig {
   // Placement algorithm: Algorithm 1, or one of the section 5.1.2
   // comparison algorithms (Tetris / Tetris2 / Capacity).
   PlacementAlgorithm placement = PlacementAlgorithm::kAlgorithm1;
+  // Worker-score policy inside monotask placement (placement == kAlgorithm1
+  // only; DESIGN.md section 13): Ursa's Algorithm-1 score, or the
+  // Tetris-style dot-product packing score. Both compose with the bucketed
+  // scan; adding colocation forces the linear scan.
+  PlacementScoreKind score = PlacementScoreKind::kAlgorithm1;
+  // Hugo-style co-location learning (DESIGN.md section 13): when enabled,
+  // the score policy is decorated with a learned stage-pair
+  // complementarity bonus fed by per-tick residency/contention snapshots.
+  ColocationConfig colocation;
   // --- Ablations (section 5.2 / Table 6). ---
   bool consider_network = true;
   bool stage_aware = true;
@@ -187,6 +202,17 @@ class UrsaScheduler : public JobManagerListener {
   };
   SchedulerCounters scheduler_counters() const { return counters_; }
 
+  // Policy-framework inspection (DESIGN.md section 13).
+  const PlacementScorePolicy* score_policy() const { return score_policy_.get(); }
+  // Null unless co-location learning is enabled.
+  const ColocationLearner* colocation_learner() const { return colocation_.get(); }
+  // Null unless the ordering policy is kGraphene (analysis is computed at
+  // job start) or the job was never started.
+  const StageCriticality* stage_criticality(JobId id) const {
+    const JobEntry& entry = *jobs_[static_cast<size_t>(id)];
+    return entry.crit.work.empty() ? nullptr : &entry.crit;
+  }
+
  private:
   struct JobEntry {
     std::unique_ptr<Job> job;
@@ -195,6 +221,11 @@ class UrsaScheduler : public JobManagerListener {
     bool finished = false;
     bool shed = false;  // Rejected or evicted by admission control; never ran.
     double srjf_rank = 0.0;
+    // Graphene: per-stage critical-path analysis (empty unless computed).
+    StageCriticality crit;
+    // Colocation: interned (class, stage name) key per stage (empty unless
+    // learning is on).
+    std::vector<int> stage_keys;
   };
 
   void EnsureTickScheduled();
@@ -210,8 +241,13 @@ class UrsaScheduler : public JobManagerListener {
   PlacementStats RunPackingPlacement();
   // Straggler pass of one tick: collect candidates from every admitted job,
   // rank by estimated time to finish and, within the budget, place copies on
-  // workers chosen by the same Algorithm-1 score as primary placement.
+  // workers chosen by the same placement score as primary placement.
   void RunSpeculation();
+  // Co-location learning step of one tick (no-op when disabled): rebuilds
+  // the per-worker resident stage-key snapshot from the job managers and
+  // feeds it, with the workers' normalized APT contention, to the learner.
+  // The snapshot then serves the tick's placement scoring.
+  void ObserveColocation();
 
   // Busiest-resource service seconds of `job` against the aggregate rates of
   // the live cluster; the u_j numerator of the admission utilization gate.
@@ -240,15 +276,8 @@ class UrsaScheduler : public JobManagerListener {
     std::vector<std::pair<TaskId, WorkerId>> assignments;
     bool complete = false;  // All ready tasks of the stage placed.
   };
-  struct WorkerLoad {
-    double d[kNumResourceDims] = {0.0, 0.0, 0.0, 0.0};
-    // Raw APT_r values; used to break ties when every D_r is exhausted
-    // (placements then go to the least-loaded worker instead of piling up).
-    double apt[kNumMonotaskResources] = {0.0, 0.0, 0.0};
-    double free_memory = 0.0;
-    double memory_capacity = 0.0;
-    double rate[kNumMonotaskResources] = {0.0, 0.0, 0.0};
-  };
+  // Per-worker load snapshot: ursa::WorkerLoad (src/scheduler/
+  // placement_policy.h), shared with the pluggable score policies.
 
   // Workers whose loads diverged from the tick-start base during the current
   // placement pass, grouped by bit-identical current load exactly like the
@@ -302,10 +331,6 @@ class UrsaScheduler : public JobManagerListener {
   void RebuildScanOrder();
   static void CountHeadroom(const std::vector<WorkerLoad>& loads,
                             int out[kNumMonotaskResources]);
-  // Upper bound on any score BestWorker can assign a worker with this load:
-  // each resource term is d_r * inc <= d_r^2, the memory term is
-  // d_mem * inc_mem <= d_mem^2, and the tie term is <= 1e-4.
-  static double LoadUb(const WorkerLoad& load);
   // Headroom signature: bits 0..2 set for d_r > 0, bit
   // kNumMonotaskResources for d_mem > 0 (shared by ScanBucket and
   // OverlayBucket).
@@ -319,25 +344,23 @@ class UrsaScheduler : public JobManagerListener {
                     int headroom[kNumMonotaskResources]) const;
   // Clears the overlay (slots, buckets, index) after a placement pass.
   void OverlayReset() const;
-  // Seed scoring body for one worker; false when the worker is skipped
-  // (memory-infeasible, blocked on a contended dimension, or no memory
-  // headroom).
-  static bool ScoreWorker(const TaskUsage& usage, const WorkerLoad& load, double ept,
-                          const int headroom[kNumMonotaskResources],
-                          bool consider_network, double* out_score);
   // Evaluates Algorithm 1's StageScore for the ready tasks of (job, stage)
   // against `base` (mutating only a private overlay); returns the plan.
   StagePlan ScoreStage(const JobEntry& entry, StageId stage,
                        const std::vector<TaskId>& tasks,
                        const std::vector<WorkerLoad>& base,
                        const int base_headroom[kNumMonotaskResources], double ept) const;
+  // The co-location key for one stage of a job (-1 when learning is off).
+  int StageKey(const JobEntry& entry, StageId stage) const;
   // Best worker for one task; returns false if no worker qualifies.
+  // Scoring is delegated to the active PlacementScorePolicy; `stage_key`
+  // identifies the placed stage for the co-location bonus (-1 = none).
   // `avoid` (from retry-exhaustion escalation) is a preference, not a ban:
   // its best qualifying score is tracked in the same pass and used only when
   // no other worker qualifies, so a re-placed task lands elsewhere whenever
   // possible without a second scan.
   bool BestWorker(const TaskUsage& usage, const LoadView& view, double ept,
-                  WorkerId* out_worker, double* out_score,
+                  WorkerId* out_worker, double* out_score, int stage_key = -1,
                   WorkerId avoid = kInvalidId) const;
   // Applies one placement to a worker's load and maintains the headroom
   // counters across d_r > 0 -> == 0 transitions.
@@ -357,6 +380,18 @@ class UrsaScheduler : public JobManagerListener {
   std::vector<JobRecord> records_;
 
   std::unique_ptr<PackingState> packing_;  // Non-null for packing placements.
+  // Active worker-score policy (never null): Algorithm 1, Tetris dot
+  // product, or either wrapped in the Hugo co-location decorator.
+  std::unique_ptr<PlacementScorePolicy> score_policy_;
+  // Non-null when co-location learning is enabled; owned here, referenced
+  // by the Hugo decorator.
+  std::unique_ptr<ColocationLearner> colocation_;
+  // Per-worker resident stage keys, rebuilt by ObserveColocation every tick
+  // (empty when learning is off). Sim-thread only.
+  std::vector<std::vector<int>> residents_;
+  // prune_placement is only sound for bucketable score policies; resolved
+  // once at construction.
+  bool prune_effective_ = false;
   // Non-null when heartbeat detection is enabled.
   std::unique_ptr<FailureDetector> detector_;
   // Non-null when speculative execution is enabled; shared by all job

@@ -236,6 +236,64 @@ TEST(Determinism, TruncatedGatherRotatesAndFinishes) {
             again.scheduler_counters.scoring_truncated);
 }
 
+// --- Scheduling policies (DESIGN.md section 13). ---
+// Every pluggable policy must satisfy the same determinism contract as the
+// defaults: same-seed bit-identical placement, and fast/seed hot-path
+// equivalence (which also flips the event-queue kind — the fast side runs
+// the calendar queue, the seed side the binary heap).
+
+TEST(Determinism, GraphenePlacementIsSeedStable) {
+  // Graphene layers the troublesome-stage bonus on its SRJF base; the
+  // criticality analysis is recomputed per admission and must be pure.
+  ExpectIdenticalRuns(SeededTpch(8, 23), UrsaGrapheneConfig(), "ursa-graphene");
+}
+
+TEST(Determinism, TetrisScorePlacementIsSeedStable) {
+  ExperimentConfig config = UrsaSrjfConfig();
+  config.ursa.score = PlacementScoreKind::kTetrisDot;
+  ExpectIdenticalRuns(SeededTpch(8, 23), config, "tetris-score");
+}
+
+TEST(Determinism, ColocationLearningIsSeedStable) {
+  // The Hugo decorator folds the learned pair EMAs into every score, so a
+  // single out-of-order observation would diverge placements immediately.
+  ExperimentConfig config = UrsaSrjfConfig();
+  config.ursa.colocation.enabled = true;
+  ExpectIdenticalRuns(SeededTpch(8, 23), config, "hugo");
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchOnGraphene) {
+  ExpectHotPathsEquivalent(SeededTpch(8, 11), UrsaGrapheneConfig(), "ursa-graphene");
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchOnTetrisScore) {
+  // The Tetris score has its own UpperBound; this pins the bucketed scan's
+  // cutoff to the linear scan's argmax under the alternative bound.
+  ExperimentConfig config = UrsaSrjfConfig();
+  config.ursa.score = PlacementScoreKind::kTetrisDot;
+  ExpectHotPathsEquivalent(SeededTpch(8, 11), config, "tetris-score");
+}
+
+TEST(Determinism, FastAndSeedHotPathsMatchOnColocationUnderChaos) {
+  // Co-location is not bucketable (both modes take the linear scan), but the
+  // incremental load cache and queue kind still differ between the modes;
+  // chaos + speculation exercises the residency snapshot across worker
+  // crashes and spec copies.
+  ExperimentConfig config = UrsaSrjfConfig();
+  config.ursa.colocation.enabled = true;
+  config.ursa.spec.enabled = true;
+  config.ursa.spec.budget_fraction = 0.2;
+  FaultPlanConfig pc;
+  pc.seed = 7;
+  pc.num_workers = config.cluster.num_workers;
+  pc.horizon_end = 80.0;
+  pc.crashes = 1;
+  pc.crash_recovers = 1;
+  pc.transients = 3;
+  config.fault_plan = MakeRandomFaultPlan(pc);
+  ExpectHotPathsEquivalent(SeededTpch(6, 31), config, "hugo");
+}
+
 TEST(Determinism, SpeculationAndFaultsAreSeedStable) {
   // Chaos path: seeded fault plan plus speculation. Recovery resets and
   // first-finisher-wins races all replay identically for a fixed seed.
