@@ -1,0 +1,257 @@
+#include "src/ctrl/control_plane.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/exec/cluster.h"
+#include "src/exec/worker.h"
+#include "src/fault/fault_stats.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace ursa {
+
+ControlPlane::ControlPlane(Simulator* sim, Cluster* cluster,
+                           const ControlPlaneConfig& config, FaultStats* stats)
+    : sim_(sim), cluster_(cluster), config_(config), stats_(stats), rng_(config.seed) {
+  CHECK(config_.loss_prob >= 0.0 && config_.loss_prob < 1.0)
+      << "loss_prob must be in [0, 1): a channel that drops everything never "
+         "delivers and the retransmission loop cannot terminate";
+  CHECK(config_.dup_prob >= 0.0 && config_.dup_prob <= 1.0);
+  CHECK(config_.delay_prob >= 0.0 && config_.delay_prob <= 1.0);
+  CHECK_GE(config_.base_latency, 0.0);
+  CHECK_GE(config_.jitter, 0.0);
+  CHECK_GE(config_.delay_extra, 0.0);
+  if (config_.enabled) {
+    CHECK_GT(config_.ack_timeout, 0.0);
+    CHECK_GE(config_.ack_timeout_cap, config_.ack_timeout);
+  }
+  delivered_.resize(static_cast<size_t>(cluster_->size()));
+}
+
+ControlPlane::Fate ControlPlane::DrawFate() {
+  Fate fate;
+  if (stats_ != nullptr) {
+    stats_->RecordMsgSent();
+  }
+  fate.lost = config_.loss_prob > 0.0 && rng_.Bernoulli(config_.loss_prob);
+  if (fate.lost) {
+    if (stats_ != nullptr) {
+      stats_->RecordMsgLost();
+    }
+    return fate;
+  }
+  auto latency = [this] {
+    double l = config_.base_latency;
+    if (config_.jitter > 0.0) {
+      l += rng_.Uniform(0.0, config_.jitter);
+    }
+    if (config_.delay_prob > 0.0 && rng_.Bernoulli(config_.delay_prob)) {
+      if (stats_ != nullptr) {
+        stats_->RecordMsgDelayed();
+      }
+      l += config_.delay_extra;
+    }
+    return l;
+  };
+  fate.latency = latency();
+  fate.dup = config_.dup_prob > 0.0 && rng_.Bernoulli(config_.dup_prob);
+  if (fate.dup) {
+    if (stats_ != nullptr) {
+      stats_->RecordMsgDuplicated();
+    }
+    fate.dup_latency = latency();
+  }
+  return fate;
+}
+
+void ControlPlane::Dispatch(WorkerId worker, const MsgKey& key, RunnableMonotask run) {
+  if (!config_.enabled) {
+    cluster_->worker(worker).Submit(std::move(run));
+    return;
+  }
+  auto p = std::make_shared<PendingDispatch>();
+  p->worker = worker;
+  p->key = key;
+  p->epoch = epoch_;
+  p->run = std::move(run);
+  SendDispatch(p, config_.ack_timeout);
+}
+
+void ControlPlane::SendDispatch(const std::shared_ptr<PendingDispatch>& p,
+                                double timeout) {
+  const Fate fate = DrawFate();
+  if (fate.lost) {
+    if (tracer_ != nullptr) {
+      tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgDrop, p->worker);
+    }
+  } else {
+    sim_->Schedule(fate.latency, [this, p] { DeliverDispatch(p); });
+    if (fate.dup) {
+      if (tracer_ != nullptr) {
+        tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgDup, p->worker);
+      }
+      sim_->Schedule(fate.dup_latency, [this, p] { DeliverDispatch(p); });
+    }
+  }
+  // Ack timer: retransmit with capped exponential backoff until the worker
+  // acked the delivery or the message was fenced by an epoch bump.
+  sim_->Schedule(timeout, [this, p, timeout] {
+    if (p->delivered || p->fenced) {
+      return;
+    }
+    if (p->epoch != epoch_) {
+      p->fenced = true;
+      if (stats_ != nullptr) {
+        stats_->RecordMsgFenced();
+      }
+      return;
+    }
+    if (stats_ != nullptr) {
+      stats_->RecordRetransmit();
+    }
+    SendDispatch(p, std::min(config_.ack_timeout_cap, timeout * 2.0));
+  });
+}
+
+void ControlPlane::DeliverDispatch(const std::shared_ptr<PendingDispatch>& p) {
+  if (p->epoch != epoch_) {
+    // Minted under a dead scheduler incarnation: the resync protocol owns
+    // this placement now. Never submit, never ack.
+    if (!p->fenced) {
+      p->fenced = true;
+      if (stats_ != nullptr) {
+        stats_->RecordMsgFenced();
+      }
+      if (tracer_ != nullptr) {
+        tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgFenced, p->worker);
+      }
+    }
+    return;
+  }
+  if (p->delivered) {
+    // A duplicate or late retransmission of an already-acked message.
+    if (stats_ != nullptr) {
+      stats_->RecordDupSuppressed();
+    }
+    return;
+  }
+  std::set<MsgKey>& seen = delivered_[static_cast<size_t>(p->worker)];
+  if (!seen.insert(p->key).second) {
+    // The same execution attempt was already delivered (e.g. the original
+    // send of a placement the recovery resync re-dispatched).
+    p->delivered = true;
+    if (stats_ != nullptr) {
+      stats_->RecordDupSuppressed();
+    }
+    return;
+  }
+  p->delivered = true;
+  cluster_->worker(p->worker).Submit(RunnableMonotask(p->run));
+}
+
+void ControlPlane::CompletionToScheduler(const CompletionMsg& msg) {
+  CHECK(completion_handler_);
+  if (!config_.enabled) {
+    completion_handler_(msg);
+    return;
+  }
+  auto p = std::make_shared<PendingNotify>();
+  p->worker = msg.worker;
+  p->deliver = [this, msg] { completion_handler_(msg); };
+  SendNotify(p, config_.ack_timeout);
+}
+
+void ControlPlane::NotifyScheduler(WorkerId worker, std::function<void()> deliver) {
+  if (!config_.enabled) {
+    deliver();
+    return;
+  }
+  auto p = std::make_shared<PendingNotify>();
+  p->worker = worker;
+  p->deliver = std::move(deliver);
+  SendNotify(p, config_.ack_timeout);
+}
+
+void ControlPlane::SendNotify(const std::shared_ptr<PendingNotify>& p, double timeout) {
+  const Fate fate = DrawFate();
+  if (fate.lost) {
+    if (tracer_ != nullptr) {
+      tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgDrop, p->worker);
+    }
+  } else {
+    sim_->Schedule(fate.latency, [this, p] { DeliverNotify(p); });
+    if (fate.dup) {
+      if (tracer_ != nullptr) {
+        tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgDup, p->worker);
+      }
+      // Duplicate deliveries reach the handler twice on purpose: endpoint
+      // idempotence (done-flag / attempt dedup) is what absorbs them.
+      sim_->Schedule(fate.dup_latency, [this, p] { DeliverNotify(p); });
+    }
+  }
+  sim_->Schedule(timeout, [this, p, timeout] {
+    if (p->delivered) {
+      return;
+    }
+    if (stats_ != nullptr) {
+      stats_->RecordRetransmit();
+    }
+    SendNotify(p, std::min(config_.ack_timeout_cap, timeout * 2.0));
+  });
+}
+
+void ControlPlane::DeliverNotify(const std::shared_ptr<PendingNotify>& p) {
+  if (down_check_ && down_check_()) {
+    // The scheduler is down: no ack, the sender keeps retransmitting and the
+    // report re-attaches to whatever incarnation recovers.
+    return;
+  }
+  p->delivered = true;
+  p->deliver();
+}
+
+void ControlPlane::Heartbeat(WorkerId worker, std::function<void()> deliver) {
+  if (!config_.enabled) {
+    deliver();
+    return;
+  }
+  const Fate fate = DrawFate();
+  if (fate.lost) {
+    if (tracer_ != nullptr) {
+      tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgDrop, worker);
+    }
+    return;  // Best-effort: a lost heartbeat is simply silence.
+  }
+  sim_->Schedule(fate.latency, [this, deliver = std::move(deliver)] {
+    if (down_check_ && down_check_()) {
+      return;  // A dead scheduler hears nothing.
+    }
+    deliver();
+  });
+  // The duplicate fate is deliberately ignored for heartbeats: a duplicated
+  // "I am alive" carries no additional information.
+}
+
+bool ControlPlane::Delivered(WorkerId worker, const MsgKey& key) const {
+  const std::set<MsgKey>& seen = delivered_[static_cast<size_t>(worker)];
+  return seen.find(key) != seen.end();
+}
+
+void ControlPlane::ForgetJob(JobId job) {
+  for (std::set<MsgKey>& seen : delivered_) {
+    MsgKey lo;
+    lo.job = job;
+    lo.monotask = std::numeric_limits<MonotaskId>::min();
+    lo.generation = std::numeric_limits<int>::min();
+    lo.attempt = std::numeric_limits<int>::min();
+    lo.channel = std::numeric_limits<int>::min();
+    MsgKey hi = lo;
+    hi.job = job + 1;
+    seen.erase(seen.lower_bound(lo), seen.lower_bound(hi));
+  }
+}
+
+}  // namespace ursa

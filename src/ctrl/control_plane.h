@@ -1,0 +1,186 @@
+// Explicit scheduler<->worker message layer with a seeded control-plane
+// fault model (DESIGN.md section 14).
+//
+// When disabled (the default) every send is a synchronous pass-through: no
+// simulator events, no RNG draws, so seeded runs are byte-identical to the
+// direct-call code paths. When enabled, dispatches, completions/failures and
+// heartbeats become simulator-delivered messages with per-message latency,
+// and the fault model can drop, duplicate or delay each one. Correctness
+// under faults rests on three mechanisms:
+//   * acks + capped-backoff retransmission for dispatches and completions
+//     (heartbeats are intentionally best-effort);
+//   * idempotent delivery: workers dedup dispatches by
+//     (job, incarnation, monotask, generation, attempt, channel), and the
+//     scheduler-side handlers dedup completions/failures by monotask
+//     done-flag / attempt;
+//   * epoch fencing: a scheduler crash bumps the epoch, and any dispatch
+//     minted under an older epoch is discarded at delivery, so a stale
+//     message can never double-charge an OccupancyLedger slot or resurrect
+//     a cancelled copy.
+#ifndef SRC_CTRL_CONTROL_PLANE_H_
+#define SRC_CTRL_CONTROL_PLANE_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dag/types.h"
+#include "src/exec/monotask_queue.h"
+
+namespace ursa {
+
+class Cluster;
+class FaultStats;
+class Simulator;
+class Tracer;
+
+struct ControlPlaneConfig {
+  // Off by default: direct synchronous calls, zero events, zero RNG draws.
+  bool enabled = false;
+  uint64_t seed = 1;
+  // Per-message one-way latency: base + Uniform[0, jitter).
+  double base_latency = 0.0005;
+  double jitter = 0.0005;
+  // Fault model, applied per message send.
+  double loss_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay_extra = 0.05;  // Added latency when the delay fault fires.
+  // Retransmission timer for reliable channels (capped exponential backoff).
+  double ack_timeout = 0.05;
+  double ack_timeout_cap = 1.0;
+  // Scheduler checkpoint/journal cadence; 0 disables journaling entirely
+  // (a scheduler crash then degrades to full restarts of all live jobs).
+  double checkpoint_interval = 0.0;
+  // Modeled recovery costs: fixed restore latency plus per-journal-record
+  // replay time for the suffix since the last checkpoint.
+  double recovery_base_cost = 0.01;
+  double replay_cost_per_record = 1e-5;
+};
+
+// Identity of one dispatch message. `generation` and `attempt` make keys
+// unique per execution attempt; `channel` separates the primary execution
+// (0) from speculative copies (1 + per-job copy sequence).
+struct MsgKey {
+  JobId job = kInvalidId;
+  // Distinguishes executions of the same monotask across full job restarts:
+  // a restart resets generations and attempts to zero, so without the
+  // incarnation a fresh dispatch would collide with the worker's delivered
+  // record of the pre-restart execution and be suppressed as a duplicate.
+  int incarnation = 0;
+  MonotaskId monotask = kInvalidId;
+  int generation = 0;
+  int attempt = 0;
+  int channel = 0;
+
+  bool operator<(const MsgKey& o) const {
+    return std::tie(job, incarnation, monotask, generation, attempt, channel) <
+           std::tie(o.job, o.incarnation, o.monotask, o.generation, o.attempt, o.channel);
+  }
+};
+
+class ControlPlane {
+ public:
+  // A worker->scheduler completion/failure report, identity-addressed so it
+  // can be routed to whichever job-manager incarnation currently owns the
+  // job (or fenced if none does).
+  struct CompletionMsg {
+    JobId job = kInvalidId;
+    int incarnation = 0;
+    MonotaskId monotask = kInvalidId;
+    int generation = 0;
+    int attempt = 0;
+    bool failed = false;
+    WorkerId worker = kInvalidId;
+  };
+
+  ControlPlane(Simulator* sim, Cluster* cluster, const ControlPlaneConfig& config,
+               FaultStats* stats);
+
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // Reliable scheduler-bound deliveries retry while this returns true.
+  void set_down_check(std::function<bool()> down) { down_check_ = std::move(down); }
+  void set_completion_handler(std::function<void(const CompletionMsg&)> handler) {
+    completion_handler_ = std::move(handler);
+  }
+
+  const ControlPlaneConfig& config() const { return config_; }
+  int epoch() const { return epoch_; }
+  // Fences every dispatch minted under an older epoch (scheduler crash).
+  void BumpEpoch() { ++epoch_; }
+
+  // Scheduler -> worker dispatch. Reliable: retransmitted with capped
+  // backoff until the worker acks (delivery) or the message is fenced.
+  void Dispatch(WorkerId worker, const MsgKey& key, RunnableMonotask run);
+
+  // Worker -> scheduler completion/failure report. Reliable: a report that
+  // arrives while the scheduler is down is retried until a live scheduler
+  // accepts it, so orphaned monotasks re-attach after recovery.
+  void CompletionToScheduler(const CompletionMsg& msg);
+
+  // Worker -> scheduler closure delivery on the same reliable channel (used
+  // for speculative-copy callbacks, whose routing state is the copy's
+  // liveness token rather than a wire identity).
+  void NotifyScheduler(WorkerId worker, std::function<void()> deliver);
+
+  // Worker -> scheduler heartbeat: best-effort, never retransmitted. Lost
+  // or late heartbeats are exactly the signal the failure detector consumes.
+  void Heartbeat(WorkerId worker, std::function<void()> deliver);
+
+  // True when the worker has acked the dispatch with this key; used by the
+  // post-recovery resync pass to decide which placements to re-send.
+  bool Delivered(WorkerId worker, const MsgKey& key) const;
+
+  // Drops per-worker dedup state for a finished job.
+  void ForgetJob(JobId job);
+
+ private:
+  struct PendingDispatch {
+    WorkerId worker = kInvalidId;
+    MsgKey key;
+    int epoch = 0;
+    RunnableMonotask run;
+    bool delivered = false;
+    bool fenced = false;
+  };
+  struct PendingNotify {
+    WorkerId worker = kInvalidId;
+    std::function<void()> deliver;
+    bool delivered = false;
+  };
+
+  // Draws the per-send fate from the seeded stream: latency (with jitter and
+  // the delay fault folded in), loss and duplication.
+  struct Fate {
+    bool lost = false;
+    bool dup = false;
+    double latency = 0.0;
+    double dup_latency = 0.0;
+  };
+  Fate DrawFate();
+
+  void SendDispatch(const std::shared_ptr<PendingDispatch>& p, double timeout);
+  void DeliverDispatch(const std::shared_ptr<PendingDispatch>& p);
+  void SendNotify(const std::shared_ptr<PendingNotify>& p, double timeout);
+  void DeliverNotify(const std::shared_ptr<PendingNotify>& p);
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  ControlPlaneConfig config_;
+  FaultStats* stats_;
+  Tracer* tracer_ = nullptr;
+  std::function<bool()> down_check_;
+  std::function<void(const CompletionMsg&)> completion_handler_;
+  Rng rng_;
+  int epoch_ = 0;
+  // Per-worker delivered-dispatch sets (worker-side state: they survive a
+  // scheduler crash, which is what makes resync able to skip live orphans).
+  std::vector<std::set<MsgKey>> delivered_;
+};
+
+}  // namespace ursa
+
+#endif  // SRC_CTRL_CONTROL_PLANE_H_

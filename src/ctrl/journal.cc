@@ -1,0 +1,86 @@
+#include "src/ctrl/journal.h"
+
+#include "src/common/logging.h"
+
+namespace ursa {
+
+namespace {
+
+void EnsureSized(const ExecutionPlan& plan, JobImage* image) {
+  if (image->tasks.size() == plan.tasks().size()) {
+    return;
+  }
+  image->tasks.assign(plan.tasks().size(), TaskImage());
+  image->mono_done.assign(plan.monotasks().size(), 0);
+  image->mono_attempts.assign(plan.monotasks().size(), 0);
+  image->mono_bytes.assign(plan.monotasks().size(), 0.0);
+}
+
+}  // namespace
+
+void ApplyJournalRecord(const JournalRecord& record, const ExecutionPlan& plan,
+                        JobImage* image) {
+  EnsureSized(plan, image);
+  switch (record.kind) {
+    case JournalKind::kAdmit:
+      image->admitted = true;
+      break;
+    case JournalKind::kStartJm:
+      if (record.gen_or_inc != image->incarnation || !image->admitted) {
+        // A restart invalidates every decision of the previous incarnation.
+        const bool admitted = image->admitted;
+        *image = JobImage();
+        EnsureSized(plan, image);
+        image->admitted = admitted;
+        image->incarnation = record.gen_or_inc;
+      }
+      break;
+    case JournalKind::kPlace: {
+      TaskImage& task = image->tasks[static_cast<size_t>(record.id)];
+      task.worker = record.worker;
+      task.generation = record.gen_or_inc;
+      task.done = false;
+      task.allocated_memory = record.x;
+      task.actual_memory = record.y;
+      task.place_time = record.time;
+      task.finish_time = -1.0;
+      break;
+    }
+    case JournalKind::kMonoDone:
+      image->mono_done[static_cast<size_t>(record.id)] = 1;
+      image->mono_attempts[static_cast<size_t>(record.id)] = 0;
+      image->mono_bytes[static_cast<size_t>(record.id)] = record.x;
+      break;
+    case JournalKind::kMonoFailed:
+      ++image->mono_attempts[static_cast<size_t>(record.id)];
+      break;
+    case JournalKind::kTaskReset: {
+      TaskImage& task = image->tasks[static_cast<size_t>(record.id)];
+      task.worker = kInvalidId;
+      task.generation = record.gen_or_inc;
+      task.done = false;
+      task.allocated_memory = 0.0;
+      task.actual_memory = 0.0;
+      task.place_time = -1.0;
+      task.finish_time = -1.0;
+      for (MonotaskId m : plan.task(record.id).monotasks) {
+        image->mono_done[static_cast<size_t>(m)] = 0;
+        image->mono_attempts[static_cast<size_t>(m)] = 0;
+        image->mono_bytes[static_cast<size_t>(m)] = 0.0;
+      }
+      break;
+    }
+    case JournalKind::kTaskDone: {
+      TaskImage& task = image->tasks[static_cast<size_t>(record.id)];
+      task.done = true;
+      task.worker = record.worker;
+      task.finish_time = record.time;
+      break;
+    }
+    case JournalKind::kJobFinish:
+      image->finished = true;
+      break;
+  }
+}
+
+}  // namespace ursa

@@ -1,0 +1,98 @@
+// Scheduler decision journal + checkpoint model (DESIGN.md section 14).
+//
+// The scheduler appends one compact record per durable decision (admission,
+// job-manager (re)start, placement, monotask completion/failure, task reset,
+// task/job completion). A periodic checkpoint marks a prefix of the journal
+// as folded into the checkpoint image; recovery replay cost is charged only
+// for the suffix written since the last checkpoint. Because this is a
+// simulator, the "disk" is an in-memory vector and replay rebuilds per-job
+// images (JobImage) that JobManager::RestoreFromImage consumes.
+#ifndef SRC_CTRL_JOURNAL_H_
+#define SRC_CTRL_JOURNAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dag/plan.h"
+#include "src/dag/types.h"
+
+namespace ursa {
+
+enum class JournalKind : int8_t {
+  kAdmit = 0,      // job admitted (reservation committed)
+  kStartJm = 1,    // job manager (re)started; gen_or_inc = incarnation
+  kPlace = 2,      // task placed; worker, gen_or_inc = generation, x/y = mem
+  kMonoDone = 3,   // monotask completed; x = input_bytes
+  kMonoFailed = 4, // monotask execution failed (attempt consumed)
+  kTaskReset = 5,  // task invalidated (lineage reset / re-placement)
+  kTaskDone = 6,   // task completed; time = finish time
+  kJobFinish = 7,  // job finished; journal state for it is dead weight
+};
+
+struct JournalRecord {
+  JournalKind kind = JournalKind::kAdmit;
+  JobId job = kInvalidId;
+  int32_t id = kInvalidId;  // TaskId or MonotaskId depending on kind.
+  WorkerId worker = kInvalidId;
+  int32_t gen_or_inc = 0;
+  double x = 0.0;  // kPlace: allocated memory; kMonoDone: input bytes.
+  double y = 0.0;  // kPlace: actual memory.
+  double time = 0.0;
+};
+
+// Restored per-task state, rebuilt purely from the journal.
+struct TaskImage {
+  WorkerId worker = kInvalidId;
+  int generation = 0;
+  bool done = false;
+  double allocated_memory = 0.0;
+  double actual_memory = 0.0;
+  double place_time = -1.0;
+  double finish_time = -1.0;
+};
+
+// Restored per-job state. Sized lazily on the first record for the job.
+struct JobImage {
+  bool admitted = false;
+  bool finished = false;
+  int incarnation = 0;
+  std::vector<TaskImage> tasks;
+  std::vector<char> mono_done;
+  std::vector<int> mono_attempts;
+  std::vector<double> mono_bytes;
+};
+
+class Journal {
+ public:
+  void Append(const JournalRecord& record) { records_.push_back(record); }
+
+  // Folds everything appended so far into the checkpoint image: replay after
+  // a crash only pays for records appended after this point.
+  void Checkpoint(double now) {
+    checkpoint_index_ = records_.size();
+    last_checkpoint_time_ = now;
+    ++checkpoints_;
+  }
+
+  const std::vector<JournalRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+  size_t suffix_length() const { return records_.size() - checkpoint_index_; }
+  int checkpoints() const { return checkpoints_; }
+  double last_checkpoint_time() const { return last_checkpoint_time_; }
+
+ private:
+  std::vector<JournalRecord> records_;
+  size_t checkpoint_index_ = 0;
+  int checkpoints_ = 0;
+  double last_checkpoint_time_ = -1.0;
+};
+
+// Sizes `image` for `plan` on first use and folds `record` into it. Records
+// must be applied in append order; a kStartJm with a new incarnation resets
+// the image (the previous execution's state is invalidated wholesale).
+void ApplyJournalRecord(const JournalRecord& record, const ExecutionPlan& plan,
+                        JobImage* image);
+
+}  // namespace ursa
+
+#endif  // SRC_CTRL_JOURNAL_H_

@@ -70,6 +70,9 @@ ExperimentResult RunExperiment(const Workload& workload, const ExperimentConfig&
     if (ursa_sched != nullptr) {
       injector = std::make_unique<FaultInjector>(&sim, &cluster, config.fault_plan,
                                                  ursa_sched->mutable_fault_stats());
+      injector->set_scheduler_crash_handler([sp = ursa_sched.get()](double downtime) {
+        sp->InjectSchedulerCrash(downtime);
+      });
       injector->Arm();
     } else {
       LOG(Warning) << "fault plan ignored: the executor model has no recovery path";

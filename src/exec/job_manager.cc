@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/common/logging.h"
+#include "src/ctrl/control_plane.h"
+#include "src/ctrl/journal.h"
 #include "src/obs/trace.h"
 
 namespace ursa {
@@ -114,6 +116,10 @@ bool JobManager::PlaceTask(TaskId t, WorkerId worker_id) {
   // Fresh cancel token per placement: flipped if a speculative copy wins.
   rt.cancel = spec_manager_ != nullptr ? std::make_shared<CancelToken>() : nullptr;
   worker.AddActualMemoryUse(rt.actual_memory);
+  if (journal_ != nullptr) {
+    journal_->Append({JournalKind::kPlace, job_->id, t, worker_id, rt.generation,
+                      rt.allocated_memory, rt.actual_memory, sim_->Now()});
+  }
   if (tracer_ != nullptr) {
     tracer_->TaskEvent(sim_->Now(), TraceEventKind::kTaskPlaced, job_->id, t,
                        plan().task(t).stage, worker_id);
@@ -132,6 +138,11 @@ void JobManager::SubmitMonotask(MonotaskId m) {
   MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
   CHECK(!mrt.submitted);
   mrt.submitted = true;
+  DispatchMonotask(m);
+}
+
+void JobManager::DispatchMonotask(MonotaskId m) {
+  MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
   const MonotaskSpec& mt = plan().monotask(m);
   const CollapsedOp& cop = plan().cop(mt.cop);
   const TaskRuntime& trt = tasks_[static_cast<size_t>(mt.task)];
@@ -172,6 +183,39 @@ void JobManager::SubmitMonotask(MonotaskId m) {
   // The weak `alive` guard makes the callbacks safe even if this JM was
   // destroyed (aborted and reclaimed) before a deferred callback fires.
   const int gen = trt.generation;
+  if (ctrl_ != nullptr) {
+    // Identity-routed wire reports: the callbacks capture no JM pointer, so
+    // an orphaned monotask survives a scheduler crash and its report is
+    // routed to (or fenced against) whichever incarnation owns the job when
+    // it finally lands.
+    ControlPlane* ctrl = ctrl_;
+    ControlPlane::CompletionMsg msg;
+    msg.job = job_->id;
+    msg.incarnation = incarnation_;
+    msg.monotask = m;
+    msg.generation = gen;
+    msg.attempt = mrt.attempts;
+    msg.worker = trt.worker;
+    run.on_complete = [ctrl, msg] {
+      ControlPlane::CompletionMsg report = msg;
+      report.failed = false;
+      ctrl->CompletionToScheduler(report);
+    };
+    run.on_failure = [ctrl, msg] {
+      ControlPlane::CompletionMsg report = msg;
+      report.failed = true;
+      ctrl->CompletionToScheduler(report);
+    };
+    MsgKey key;
+    key.job = job_->id;
+    key.incarnation = incarnation_;
+    key.monotask = m;
+    key.generation = gen;
+    key.attempt = mrt.attempts;
+    key.channel = 0;
+    ctrl->Dispatch(trt.worker, key, std::move(run));
+    return;
+  }
   run.on_complete = [this, m, gen, alive = std::weak_ptr<const bool>(alive_)] {
     if (alive.expired()) {
       return;
@@ -185,6 +229,28 @@ void JobManager::SubmitMonotask(MonotaskId m) {
     OnMonotaskFailed(m, gen);
   };
   cluster_->worker(trt.worker).Submit(std::move(run));
+}
+
+void JobManager::OnMonotaskCompleteWire(MonotaskId m, int generation, int attempt) {
+  (void)attempt;  // Completion dedup is the done-flag; attempt is informational.
+  OnMonotaskComplete(m, generation);
+}
+
+void JobManager::OnMonotaskFailedWire(MonotaskId m, int generation, int attempt) {
+  if (aborted_) {
+    return;
+  }
+  const MonotaskSpec& mt = plan().monotask(m);
+  if (generation != tasks_[static_cast<size_t>(mt.task)].generation) {
+    return;  // Failure of an invalidated execution.
+  }
+  const MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+  if (mrt.done || attempt != mrt.attempts) {
+    // Duplicate of an already-handled failure (the handler bumped attempts),
+    // or the completion raced ahead of a retransmitted failure report.
+    return;
+  }
+  OnMonotaskFailed(m, generation);
 }
 
 void JobManager::Abort() {
@@ -226,8 +292,15 @@ void JobManager::OnMonotaskComplete(MonotaskId m, int generation) {
   if (generation != trt.generation) {
     return;  // Stale completion of an invalidated execution.
   }
+  if (mrt.done) {
+    return;  // Duplicate delivery of this execution's completion report.
+  }
   mrt.done = true;
   mrt.attempts = 0;
+  if (journal_ != nullptr) {
+    journal_->Append({JournalKind::kMonoDone, job_->id, m, trt.worker, trt.generation,
+                      mrt.input_bytes, 0.0, sim_->Now()});
+  }
   // Record outputs in the metadata store at this task's worker.
   for (const OutputRecord& rec :
        UsageEstimator::ComputeOutputs(*job_, m, mrt.input_bytes)) {
@@ -278,6 +351,10 @@ void JobManager::OnMonotaskFailed(MonotaskId m, int generation) {
   }
   MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
   ++mrt.attempts;
+  if (journal_ != nullptr) {
+    journal_->Append({JournalKind::kMonoFailed, job_->id, m, trt.worker, trt.generation,
+                      0.0, 0.0, sim_->Now()});
+  }
   const Worker& worker = cluster_->worker(trt.worker);
   if (worker.failed()) {
     // The worker died under us (submission dropped or the scheduler has not
@@ -351,7 +428,12 @@ void JobManager::ResetTaskRuntime(TaskId t) {
   // resets do not inflate the speculation waste counters.
   rt.cancel.reset();
   rt.primary_lost = false;
+  rt.restored = false;
   ++rt.generation;
+  if (journal_ != nullptr) {
+    journal_->Append({JournalKind::kTaskReset, job_->id, t, kInvalidId, rt.generation,
+                      0.0, 0.0, sim_->Now()});
+  }
   rt.worker = kInvalidId;
   rt.allocated_memory = 0.0;
   rt.actual_memory = 0.0;
@@ -554,6 +636,176 @@ JobManager::RecoveryResult JobManager::RecoverFromWorkerFailure(WorkerId failed)
   return result;
 }
 
+void JobManager::RestoreFromImage(const JobImage& image) {
+  CHECK(!aborted_);
+  CHECK_EQ(image.tasks.size(), plan().tasks().size());
+  CHECK_EQ(image.mono_done.size(), plan().monotasks().size());
+  // Base counters, exactly as Start() would set them.
+  for (const StageSpec& stage : plan().stages()) {
+    stages_[static_cast<size_t>(stage.id)].remaining_tasks = stage.num_tasks;
+  }
+  for (const MonotaskSpec& mt : plan().monotasks()) {
+    monotasks_[static_cast<size_t>(mt.id)].remaining_deps =
+        static_cast<int>(mt.intask_deps.size());
+  }
+  for (const TaskSpec& task : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    rt.remaining_async_parents = static_cast<int>(task.async_parents.size());
+    rt.remaining_sync_stages = static_cast<int>(task.sync_parent_stages.size());
+    rt.remaining_monotasks = static_cast<int>(task.monotasks.size());
+  }
+  // Fold journaled monotask completions back in without re-running their
+  // side effects: outputs already live in the metadata store (worker-side
+  // state that survived the crash), the listener was already told, and the
+  // arrival-rate estimators already counted them. Only the counters replay.
+  for (const MonotaskSpec& mt : plan().monotasks()) {
+    const size_t i = static_cast<size_t>(mt.id);
+    MonotaskRuntime& mrt = monotasks_[i];
+    mrt.attempts = image.mono_attempts[i];
+    if (image.mono_done[i] == 0) {
+      continue;
+    }
+    mrt.done = true;
+    mrt.submitted = true;
+    mrt.attempts = 0;
+    mrt.input_bytes = image.mono_bytes[i];
+    auto& remaining = remaining_work_[static_cast<size_t>(mt.type)];
+    remaining = std::max(remaining - mrt.input_bytes, 0.0);
+    if (mt.type == ResourceType::kCpu) {
+      const CollapsedOp& cop = plan().cop(mt.cop);
+      cpu_seconds_used_ +=
+          (cop.cost.fixed_cpu_work + mrt.input_bytes * cop.cost.cpu_complexity) /
+          cluster_->config().worker.cpu_byte_rate;
+    }
+    for (MonotaskId dep : mt.intask_dependents) {
+      --monotasks_[static_cast<size_t>(dep)].remaining_deps;
+    }
+    --tasks_[static_cast<size_t>(mt.task)].remaining_monotasks;
+  }
+  // Task states. Completed tasks re-complete without side effects; placed
+  // tasks are restored WITHOUT TryAllocateMemory — their memory charges are
+  // worker-side state and survived the crash.
+  for (const TaskSpec& task : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    const TaskImage& ti = image.tasks[static_cast<size_t>(task.id)];
+    rt.generation = ti.generation;
+    if (ti.done) {
+      rt.state = TaskState::kCompleted;
+      rt.worker = ti.worker;
+      rt.timing.ready_time = ti.place_time;
+      rt.timing.place_time = ti.place_time;
+      rt.timing.finish_time = ti.finish_time;
+      ++completed_tasks_;
+      StageRuntime& srt = stages_[static_cast<size_t>(task.stage)];
+      CHECK_GT(srt.remaining_tasks, 0);
+      --srt.remaining_tasks;
+    } else if (ti.worker != kInvalidId) {
+      rt.state = TaskState::kPlaced;
+      rt.worker = ti.worker;
+      rt.allocated_memory = ti.allocated_memory;
+      rt.actual_memory = ti.actual_memory;
+      rt.timing.ready_time = ti.place_time;
+      rt.timing.place_time = ti.place_time;
+      rt.usage = UsageEstimator::EstimateTask(*job_, task.id, cluster_->metadata(), 0.0);
+      // The pre-crash monotasks on the worker hold the old incarnation's
+      // cancel token, so this execution can no longer be cancelled
+      // cooperatively: mark it restored and keep it out of speculation.
+      rt.cancel = nullptr;
+      rt.restored = true;
+      // A monotask was dispatched exactly when its last in-task dependency
+      // completed; re-derive the flag (ResyncDispatches then re-sends any
+      // dispatch the worker never acked).
+      for (MonotaskId m : task.monotasks) {
+        MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+        if (!mrt.done) {
+          mrt.submitted = mrt.remaining_deps == 0;
+        }
+      }
+    }
+  }
+  // Rebuild dependency counters and the readiness frontier (same
+  // recomputation as lineage recovery's apply phase).
+  ready_unplaced_.clear();
+  ready_input_total_ = 0.0;
+  for (const TaskSpec& spec : plan().tasks()) {
+    TaskRuntime& rt = tasks_[static_cast<size_t>(spec.id)];
+    if (rt.state == TaskState::kCompleted || rt.state == TaskState::kPlaced) {
+      continue;
+    }
+    rt.state = TaskState::kBlocked;
+    int async_parents = 0;
+    for (TaskId parent : spec.async_parents) {
+      if (tasks_[static_cast<size_t>(parent)].state != TaskState::kCompleted) {
+        ++async_parents;
+      }
+    }
+    rt.remaining_async_parents = async_parents;
+    int sync_stages = 0;
+    for (StageId ps : spec.sync_parent_stages) {
+      if (stages_[static_cast<size_t>(ps)].remaining_tasks > 0) {
+        ++sync_stages;
+      }
+    }
+    rt.remaining_sync_stages = sync_stages;
+  }
+  for (const TaskSpec& spec : plan().tasks()) {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(spec.id)];
+    if (rt.state == TaskState::kBlocked && rt.remaining_async_parents == 0 &&
+        rt.remaining_sync_stages == 0) {
+      MarkReady(spec.id);
+    }
+  }
+}
+
+int JobManager::ResyncDispatches() {
+  CHECK(ctrl_ != nullptr);
+  int redispatched = 0;
+  for (const TaskSpec& task : plan().tasks()) {
+    const TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
+    if (rt.state != TaskState::kPlaced) {
+      continue;
+    }
+    for (MonotaskId m : task.monotasks) {
+      const MonotaskRuntime& mrt = monotasks_[static_cast<size_t>(m)];
+      if (!mrt.submitted || mrt.done) {
+        continue;
+      }
+      MsgKey key;
+      key.job = job_->id;
+      key.incarnation = incarnation_;
+      key.monotask = m;
+      key.generation = rt.generation;
+      key.attempt = mrt.attempts;
+      key.channel = 0;
+      if (ctrl_->Delivered(rt.worker, key)) {
+        // The worker acked this dispatch before the crash: the orphan is
+        // still queued or running there and its report will re-attach.
+        continue;
+      }
+      // Either the send died with the old scheduler (fenced / never
+      // delivered) or a retry-backoff event was lost in the crash.
+      DispatchMonotask(m);
+      ++redispatched;
+    }
+  }
+  return redispatched;
+}
+
+void JobManager::ForfeitSpeculation() {
+  if (aborted_ || finished()) {
+    return;
+  }
+  for (const TaskSpec& task : plan().tasks()) {
+    if (tasks_[static_cast<size_t>(task.id)].spec != nullptr) {
+      // The copy's cancel/liveness tokens die with this JM: tear it down
+      // deterministically instead of leaking the race onto the worker. A
+      // primary_lost task left without a runner is re-seeded by the
+      // post-recovery failed-worker reconciliation pass.
+      CancelSpeculativeCopy(task.id, SpecEnd::kCancelled);
+    }
+  }
+}
+
 void JobManager::CompleteTask(TaskId t) {
   TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
   CHECK(rt.state == TaskState::kPlaced);
@@ -569,6 +821,10 @@ void JobManager::CompleteTask(TaskId t) {
   }
   rt.state = TaskState::kCompleted;
   rt.timing.finish_time = sim_->Now();
+  if (journal_ != nullptr) {
+    journal_->Append({JournalKind::kTaskDone, job_->id, t, rt.worker, rt.generation,
+                      rt.timing.place_time, 0.0, sim_->Now()});
+  }
   if (tracer_ != nullptr) {
     tracer_->TaskEvent(sim_->Now(), TraceEventKind::kTaskCompleted, job_->id, t,
                        plan().task(t).stage, rt.worker);
@@ -667,7 +923,10 @@ void JobManager::CollectStragglerCandidates(double now,
   const SpeculationConfig& cfg = spec_manager_->config();
   for (const TaskSpec& task : plan().tasks()) {
     const TaskRuntime& rt = tasks_[static_cast<size_t>(task.id)];
-    if (rt.state != TaskState::kPlaced || rt.spec != nullptr || rt.primary_lost) {
+    if (rt.state != TaskState::kPlaced || rt.spec != nullptr || rt.primary_lost ||
+        rt.restored) {
+      // `restored`: the placement survived a scheduler crash, but its cancel
+      // token did not — a copy could never cancel it, so don't race one.
       continue;
     }
     if (rt.worker == kInvalidId || cluster_->worker(rt.worker).failed()) {
@@ -716,6 +975,7 @@ bool JobManager::PlaceSpeculative(TaskId t, WorkerId worker_id) {
   const TaskSpec& spec = plan().task(t);
   auto copy = std::make_unique<SpecCopy>();
   copy->worker = worker_id;
+  copy->channel = 1 + spec_seq_++;
   copy->start_time = sim_->Now();
   copy->allocated_memory = rt.allocated_memory;
   copy->actual_memory = rt.actual_memory;
@@ -788,18 +1048,42 @@ void JobManager::SubmitSpecMonotask(TaskId t, int idx) {
   }
   // The copy's liveness token replaces generation bookkeeping: deciding the
   // race (either way) destroys the copy and disarms every pending callback.
-  run.on_complete = [this, t, idx, alive = std::weak_ptr<const bool>(copy.alive)] {
+  auto on_complete = [this, t, idx, alive = std::weak_ptr<const bool>(copy.alive)] {
     if (alive.expired()) {
       return;
     }
     OnSpecMonotaskComplete(t, idx);
   };
-  run.on_failure = [this, t, idx, alive = std::weak_ptr<const bool>(copy.alive)] {
+  auto on_failure = [this, t, idx, alive = std::weak_ptr<const bool>(copy.alive)] {
     if (alive.expired()) {
       return;
     }
     OnSpecMonotaskFailed(t, idx);
   };
+  if (ctrl_ != nullptr) {
+    // Copy reports ride the reliable notify channel; their routing state is
+    // the liveness token (a scheduler crash forfeits every copy, expiring the
+    // token, so late deliveries are no-ops rather than misroutes).
+    ControlPlane* ctrl = ctrl_;
+    const WorkerId cw = copy.worker;
+    run.on_complete = [ctrl, cw, cb = std::move(on_complete)] {
+      ctrl->NotifyScheduler(cw, cb);
+    };
+    run.on_failure = [ctrl, cw, cb = std::move(on_failure)] {
+      ctrl->NotifyScheduler(cw, cb);
+    };
+    MsgKey key;
+    key.job = job_->id;
+    key.incarnation = incarnation_;
+    key.monotask = m;
+    key.generation = rt.generation;
+    key.attempt = 0;
+    key.channel = copy.channel;
+    ctrl->Dispatch(copy.worker, key, std::move(run));
+    return;
+  }
+  run.on_complete = std::move(on_complete);
+  run.on_failure = std::move(on_failure);
   cluster_->worker(copy.worker).Submit(std::move(run));
 }
 
@@ -807,6 +1091,9 @@ void JobManager::OnSpecMonotaskComplete(TaskId t, int idx) {
   TaskRuntime& rt = tasks_[static_cast<size_t>(t)];
   CHECK(rt.spec != nullptr);
   SpecCopy& copy = *rt.spec;
+  if (copy.done[static_cast<size_t>(idx)]) {
+    return;  // Duplicate delivery; the dependent fan-out already ran.
+  }
   copy.done[static_cast<size_t>(idx)] = 1;
   const TaskSpec& spec = plan().task(t);
   const MonotaskId m = spec.monotasks[static_cast<size_t>(idx)];
@@ -897,6 +1184,10 @@ void JobManager::OnSpecWin(TaskId t) {
     mrt.submitted = true;
     mrt.attempts = 0;
     mrt.input_bytes = copy->input_bytes[i];
+    if (journal_ != nullptr) {
+      journal_->Append({JournalKind::kMonoDone, job_->id, m, copy->worker,
+                        rt.generation, mrt.input_bytes, 0.0, now});
+    }
     const MonotaskSpec& mt = plan().monotask(m);
     auto& remaining = remaining_work_[static_cast<size_t>(mt.type)];
     remaining = std::max(remaining - mrt.input_bytes, 0.0);

@@ -26,6 +26,9 @@
 
 namespace ursa {
 
+class ControlPlane;
+class Journal;
+struct JobImage;
 class Tracer;
 
 // Callbacks from a job manager to the scheduling layer / driver.
@@ -97,6 +100,45 @@ class JobManager {
   WorkerId avoided_worker(TaskId t) const {
     return tasks_[static_cast<size_t>(t)].avoid_worker;
   }
+
+  // --- Control-plane integration (DESIGN.md section 14). ---
+  // Routes dispatches and completion/failure reports through the message
+  // layer instead of direct calls. Null (the default) keeps the synchronous
+  // code path, byte-identical to the pre-message-layer behavior.
+  void set_control_plane(ControlPlane* ctrl) { ctrl_ = ctrl; }
+  // Decision journal receiving placement/completion/reset records for
+  // crash-recovery replay. Null disables journaling.
+  void set_journal(Journal* journal) { journal_ = journal; }
+  // Incarnation of this JM for the job (bumped on every full restart and on
+  // journal-less crash recovery); stale wire reports are fenced against it.
+  void set_incarnation(int incarnation) { incarnation_ = incarnation; }
+  int incarnation() const { return incarnation_; }
+
+  // Wire-delivery entry points for identity-addressed completion/failure
+  // reports. They dedup duplicates (done-flag / attempt mismatch) before
+  // handing off to the direct handlers, making the endpoints idempotent
+  // under message duplication and retransmission.
+  void OnMonotaskCompleteWire(MonotaskId m, int generation, int attempt);
+  void OnMonotaskFailedWire(MonotaskId m, int generation, int attempt);
+
+  // --- Scheduler crash-recovery (DESIGN.md section 14). ---
+  // Rebuilds runtime state from a journal image instead of Start(): folds in
+  // completed monotasks without re-running their side effects (their outputs
+  // already live in the metadata store, which is worker-side state), restores
+  // placements without re-allocating worker memory (the charges survive the
+  // scheduler crash), and rebuilds the readiness frontier.
+  void RestoreFromImage(const JobImage& image);
+
+  // Post-recovery reconciliation: re-sends every dispatch of a restored
+  // placement that the worker never acked (the send died with the old
+  // scheduler, or a pending retry-backoff event was lost in the crash).
+  // Returns the number of re-dispatched monotasks.
+  int ResyncDispatches();
+
+  // Cancels every live speculative copy (called when the scheduler crashes:
+  // the copies' cancel/liveness tokens would die with this JM, so they are
+  // torn down deterministically instead of leaking onto workers).
+  void ForfeitSpeculation();
 
   // --- Speculative execution (DESIGN.md section 9). ---
   // Enables straggler detection and speculative copies. `manager` (owned by
@@ -199,6 +241,9 @@ class JobManager {
   // losing copy's buffer is simply dropped.
   struct SpecCopy {
     WorkerId worker = kInvalidId;
+    // Message channel for the copy's dispatches (1 + per-job launch seq),
+    // keeping its wire keys disjoint from the primary's (channel 0).
+    int channel = 0;
     double start_time = 0.0;
     double allocated_memory = 0.0;
     double actual_memory = 0.0;
@@ -243,6 +288,10 @@ class JobManager {
     // The primary's worker died while a copy was live: the copy is the only
     // runner left, and a failure on it escalates to a full task reset.
     bool primary_lost = false;
+    // Placement restored from a crash-recovery journal image. The original
+    // cancel token died with the old scheduler, so the execution can no
+    // longer be cancelled cooperatively; speculation skips such tasks.
+    bool restored = false;
   };
   struct MonotaskRuntime {
     int remaining_deps = 0;
@@ -258,6 +307,12 @@ class JobManager {
   const ExecutionPlan& plan() const { return job_->plan; }
   void MarkReady(TaskId t);
   void SubmitMonotask(MonotaskId m);
+  // Builds the RunnableMonotask for a submitted monotask and hands it to the
+  // worker — directly, or through the control plane's reliable dispatch
+  // channel when one is attached. Split from SubmitMonotask so the
+  // post-recovery resync can re-send a dispatch without re-running the
+  // submission bookkeeping.
+  void DispatchMonotask(MonotaskId m);
   void OnMonotaskComplete(MonotaskId m, int generation);
   void OnMonotaskFailed(MonotaskId m, int generation);
   void ResubmitMonotask(MonotaskId m, int generation);
@@ -318,6 +373,14 @@ class JobManager {
   FaultStats* fault_stats_ = nullptr;
   int recovering_outstanding_ = 0;
   double recovery_start_ = -1.0;
+
+  // Control plane / crash-recovery (null when disabled).
+  ControlPlane* ctrl_ = nullptr;
+  Journal* journal_ = nullptr;
+  int incarnation_ = 0;
+  // Per-job speculative-copy launch counter; 1 + seq is the copy's message
+  // channel, keeping its dispatch keys disjoint from the primary's.
+  int spec_seq_ = 0;
 
   // Speculation (null/empty when disabled).
   SpeculationManager* spec_manager_ = nullptr;

@@ -29,10 +29,28 @@ void FailureDetector::Activate(std::function<bool()> active) {
     last_heartbeat_[static_cast<size_t>(w)] = now;
     cluster_->worker(static_cast<WorkerId>(w))
         .StartHeartbeats(config_.heartbeat_interval,
-                         [this](WorkerId id) { OnHeartbeat(id); },
+                         [this](WorkerId id) {
+                           if (transport_) {
+                             // Route the beat through the control-plane
+                             // transport; a dropped closure is a lost beat.
+                             transport_(id, [this, id] { OnHeartbeat(id); });
+                           } else {
+                             OnHeartbeat(id);
+                           }
+                         },
                          [this] { return active_ && active_(); });
   }
   ScheduleSweep();
+}
+
+void FailureDetector::Reset(double now) {
+  std::fill(last_heartbeat_.begin(), last_heartbeat_.end(), now);
+  for (int w = 0; w < cluster_->size(); ++w) {
+    // Workers that are down stay declared-dead (the recovering scheduler
+    // re-handles them immediately), so their comeback heartbeat still fires
+    // the rejoin callback. Live workers restart from a clean slate.
+    dead_[static_cast<size_t>(w)] = cluster_->worker(static_cast<WorkerId>(w)).failed();
+  }
 }
 
 void FailureDetector::OnHeartbeat(WorkerId w) {

@@ -60,6 +60,18 @@ class FailureDetector {
   void set_on_death(DeathCallback cb) { on_death_ = std::move(cb); }
   void set_on_rejoin(RejoinCallback cb) { on_rejoin_ = std::move(cb); }
 
+  // Routes each heartbeat delivery through a transport hook (e.g. the lossy
+  // control-plane message layer). The hook receives the sender and a closure
+  // that performs the actual delivery; dropping the closure drops the beat.
+  using Transport = std::function<void(WorkerId, std::function<void()>)>;
+  void set_transport(Transport transport) { transport_ = std::move(transport); }
+
+  // Re-seeds liveness state after a scheduler crash: a restarted scheduler
+  // has no heartbeat history, so silence is measured from `now`. Workers the
+  // caller knows to be down (and re-handles itself at recovery) stay
+  // declared-dead so their comeback heartbeat still fires the rejoin hook.
+  void Reset(double now);
+
   // Starts the heartbeat and sweep chains if they are not already running.
   // Both stop once `active` returns false; calling Activate again restarts
   // them (with a fresh grace period so idle gaps do not cause false
@@ -79,6 +91,7 @@ class FailureDetector {
   FailureDetectorConfig config_;
   DeathCallback on_death_;
   RejoinCallback on_rejoin_;
+  Transport transport_;
 
   std::vector<double> last_heartbeat_;
   std::vector<bool> dead_;

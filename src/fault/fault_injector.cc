@@ -8,8 +8,27 @@
 namespace ursa {
 
 FaultPlan MakeRandomFaultPlan(const FaultPlanConfig& config) {
+  // Reject malformed plans up front instead of producing a quietly-empty or
+  // crash-prone event list (events drawn from an inverted horizon would all
+  // land at the same instant; negative counts would silently inject nothing).
   CHECK_GT(config.num_workers, 0);
-  CHECK_GE(config.horizon_end, config.horizon_start);
+  CHECK_GE(config.horizon_start, 0.0);
+  CHECK_GT(config.horizon_end, config.horizon_start)
+      << "fault horizon is empty or inverted";
+  CHECK_GE(config.crashes, 0);
+  CHECK_GE(config.crash_recovers, 0);
+  CHECK_GE(config.transients, 0);
+  CHECK_GE(config.degrades, 0);
+  CHECK_GE(config.sched_crashes, 0);
+  CHECK_GE(config.sched_crash_recovers, 0);
+  CHECK_GE(config.transient_count, 0);
+  CHECK_GE(config.min_downtime, 0.0);
+  CHECK_GE(config.max_downtime, config.min_downtime);
+  CHECK_GE(config.min_sched_downtime, 0.0);
+  CHECK_GE(config.max_sched_downtime, config.min_sched_downtime);
+  CHECK_GE(config.degrade_duration, 0.0);
+  CHECK_GT(config.degrade_factor, 0.0);
+  CHECK_LE(config.degrade_factor, 1.0);
   FaultPlan plan;
   Rng rng(config.seed);
   auto draw_time = [&] { return rng.Uniform(config.horizon_start, config.horizon_end); };
@@ -66,6 +85,19 @@ FaultPlan MakeRandomFaultPlan(const FaultPlanConfig& config) {
     event.factor = config.degrade_factor;
     plan.events.push_back(event);
   }
+  for (int i = 0; i < config.sched_crashes; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kSchedulerCrash;
+    event.time = draw_time();
+    plan.events.push_back(event);
+  }
+  for (int i = 0; i < config.sched_crash_recovers; ++i) {
+    FaultEvent event;
+    event.kind = FaultKind::kSchedulerCrashRecover;
+    event.time = draw_time();
+    event.downtime = rng.Uniform(config.min_sched_downtime, config.max_sched_downtime);
+    plan.events.push_back(event);
+  }
   std::stable_sort(plan.events.begin(), plan.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; });
   return plan;
@@ -79,13 +111,27 @@ void FaultInjector::Arm() {
   CHECK(!armed_) << "fault plan already armed";
   armed_ = true;
   for (const FaultEvent& event : plan_.events) {
-    CHECK_GE(event.worker, 0);
-    CHECK_LT(event.worker, cluster_->size());
+    if (event.kind == FaultKind::kSchedulerCrash ||
+        event.kind == FaultKind::kSchedulerCrashRecover) {
+      CHECK(scheduler_crash_handler_)
+          << "fault plan injects scheduler crashes but no handler is set";
+    } else {
+      CHECK_GE(event.worker, 0);
+      CHECK_LT(event.worker, cluster_->size());
+    }
     sim_->ScheduleAt(event.time, [this, event] { Apply(event); });
   }
 }
 
 void FaultInjector::Apply(const FaultEvent& event) {
+  if (event.kind == FaultKind::kSchedulerCrash ||
+      event.kind == FaultKind::kSchedulerCrashRecover) {
+    // Control-plane fault: no worker involved. The scheduler records its own
+    // crash/recovery counters.
+    scheduler_crash_handler_(
+        event.kind == FaultKind::kSchedulerCrash ? 0.0 : event.downtime);
+    return;
+  }
   Worker& worker = cluster_->worker(event.worker);
   switch (event.kind) {
     case FaultKind::kCrash:
@@ -129,6 +175,9 @@ void FaultInjector::Apply(const FaultEvent& event) {
       });
       break;
     }
+    case FaultKind::kSchedulerCrash:
+    case FaultKind::kSchedulerCrashRecover:
+      break;  // Dispatched to the scheduler crash handler above.
   }
 }
 

@@ -10,6 +10,8 @@
 #define SRC_FAULT_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/exec/cluster.h"
@@ -23,6 +25,11 @@ enum class FaultKind : int {
   kCrashRecover = 1,  // Worker dies, rejoins after `downtime` seconds.
   kTransient = 2,     // Next `count` monotasks completing on the worker fail.
   kDegrade = 3,       // Worker runs at `factor` speed for `duration` seconds.
+  // Control-plane faults (DESIGN.md section 14). `worker` is ignored; the
+  // scheduler loses its live state and recovers from checkpoint + journal
+  // (or full restarts every job when journaling is off).
+  kSchedulerCrash = 4,         // Fast failover: recovery starts immediately.
+  kSchedulerCrashRecover = 5,  // Scheduler stays down `downtime` seconds first.
 };
 
 struct FaultEvent {
@@ -55,10 +62,18 @@ struct FaultPlanConfig {
   int transient_count = 1;      // Monotask failures injected per transient event.
   double degrade_factor = 0.5;  // Speed multiplier during a degrade window.
   double degrade_duration = 10.0;
+  // Control-plane faults: scheduler crashes with immediate failover and
+  // crashes that keep the scheduler down for a drawn downtime.
+  int sched_crashes = 0;
+  int sched_crash_recovers = 0;
+  double min_sched_downtime = 2.0;
+  double max_sched_downtime = 10.0;
 };
 
 // Deterministic random plan. Permanently-crashed workers are distinct and
 // capped below half the cluster so the workload always remains schedulable.
+// CHECK-fails on malformed configs: an empty or inverted horizon, negative
+// event counts or downtimes, or a degrade factor outside (0, 1].
 FaultPlan MakeRandomFaultPlan(const FaultPlanConfig& config);
 
 class FaultInjector {
@@ -70,8 +85,15 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   // Schedules every event of the plan on the simulator. The injector must
-  // outlive the simulation run.
+  // outlive the simulation run. A plan containing scheduler-crash events
+  // requires a scheduler crash handler.
   void Arm();
+
+  // Receives `downtime` for each kSchedulerCrash{Recover} event; typically
+  // bound to UrsaScheduler::InjectSchedulerCrash.
+  void set_scheduler_crash_handler(std::function<void(double)> handler) {
+    scheduler_crash_handler_ = std::move(handler);
+  }
 
   const FaultPlan& plan() const { return plan_; }
 
@@ -82,6 +104,7 @@ class FaultInjector {
   Cluster* cluster_;
   FaultPlan plan_;
   FaultStats* stats_;
+  std::function<void(double)> scheduler_crash_handler_;
   bool armed_ = false;
 };
 

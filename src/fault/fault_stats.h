@@ -11,6 +11,7 @@
 #ifndef SRC_FAULT_FAULT_STATS_H_
 #define SRC_FAULT_FAULT_STATS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/common/mutex.h"
@@ -56,6 +57,24 @@ struct FaultCounters {
   double wasted_bytes[kNumMonotaskResources] = {};
   double wasted_seconds[kNumMonotaskResources] = {};
 
+  // --- Control plane (written by the message layer / scheduler). ---
+  int msgs_sent = 0;        // Message sends (including retransmissions).
+  int msgs_lost = 0;        // Sends dropped by the fault model.
+  int msgs_duplicated = 0;  // Sends delivered twice by the fault model.
+  int msgs_delayed = 0;     // Sends hit by the extra-delay fault.
+  int msgs_fenced = 0;      // Deliveries discarded by epoch/incarnation fencing.
+  int dup_suppressed = 0;   // Duplicate deliveries absorbed by dedup.
+  int retransmits = 0;      // Ack-timeout retransmissions.
+
+  // --- Scheduler crash-recovery (written by the scheduler). ---
+  int scheduler_crashes = 0;
+  int scheduler_recoveries = 0;
+  int checkpoints = 0;            // Periodic journal checkpoints taken.
+  int64_t journal_records = 0;    // Decision-journal records appended.
+  int redispatched_monotasks = 0; // Dispatches re-sent by post-crash resync.
+  // Per crash episode: crash -> scheduler back up (downtime + replay).
+  std::vector<double> scheduler_recovery_latencies;
+
   // --- Cumulative time series for post-run plots. ---
   StepTracker detections_series;
   StepTracker retries_series;
@@ -93,10 +112,21 @@ struct FaultCounters {
     return speculations_launched - speculations_won - speculations_lost -
            speculations_cancelled;
   }
+  double avg_scheduler_recovery_latency() const {
+    if (scheduler_recovery_latencies.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (double v : scheduler_recovery_latencies) {
+      sum += v;
+    }
+    return sum / static_cast<double>(scheduler_recovery_latencies.size());
+  }
   bool any_faults() const {
     return crashes_injected + recoveries_injected + transients_injected + degrades_injected +
                detections + transient_failures + worker_loss_failures + full_restarts +
-               speculations_launched >
+               speculations_launched + scheduler_crashes + msgs_lost + msgs_duplicated +
+               msgs_delayed >
            0;
   }
 };
@@ -173,6 +203,60 @@ class FaultStats {
   void RecordRecoveryLatency(double seconds) EXCLUDES(mu_) {
     MutexLock lock(mu_);
     c_.recovery_latencies.push_back(seconds);
+  }
+
+  // --- Control plane (message layer). ---
+  void RecordMsgSent() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.msgs_sent;
+  }
+  void RecordMsgLost() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.msgs_lost;
+  }
+  void RecordMsgDuplicated() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.msgs_duplicated;
+  }
+  void RecordMsgDelayed() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.msgs_delayed;
+  }
+  void RecordMsgFenced() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.msgs_fenced;
+  }
+  void RecordDupSuppressed() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.dup_suppressed;
+  }
+  void RecordRetransmit() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.retransmits;
+  }
+
+  // --- Scheduler crash-recovery (scheduler). ---
+  void RecordSchedulerCrash() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.scheduler_crashes;
+  }
+  void RecordSchedulerRecovery(double latency) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.scheduler_recoveries;
+    c_.scheduler_recovery_latencies.push_back(latency);
+  }
+  void RecordCheckpoint(int64_t journal_records) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    ++c_.checkpoints;
+    c_.journal_records = journal_records;
+  }
+  void RecordJournalSize(int64_t journal_records) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    c_.journal_records = journal_records;
+  }
+  void RecordRedispatched(int count) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    c_.redispatched_monotasks += count;
   }
 
   // --- Speculation (speculation manager). ---

@@ -175,6 +175,32 @@ void MetricsCollector::PrintFaultReport(const FaultCounters& stats, const std::s
         .Cell(stats.total_wasted_seconds(), 2);
     spec.Print(title + " - speculation");
   }
+
+  if (stats.msgs_sent > 0) {
+    Table ctrl({"msgs", "lost", "dup", "delayed", "fenced", "dupSuppressed", "retransmits"});
+    ctrl.Row()
+        .Cell(static_cast<int64_t>(stats.msgs_sent))
+        .Cell(static_cast<int64_t>(stats.msgs_lost))
+        .Cell(static_cast<int64_t>(stats.msgs_duplicated))
+        .Cell(static_cast<int64_t>(stats.msgs_delayed))
+        .Cell(static_cast<int64_t>(stats.msgs_fenced))
+        .Cell(static_cast<int64_t>(stats.dup_suppressed))
+        .Cell(static_cast<int64_t>(stats.retransmits));
+    ctrl.Print(title + " - control plane");
+  }
+
+  if (stats.scheduler_crashes > 0 || stats.checkpoints > 0) {
+    Table crash({"schedCrashes", "recoveries", "avgRecoveryLat(s)", "checkpoints",
+                 "journalRecords", "redispatched"});
+    crash.Row()
+        .Cell(static_cast<int64_t>(stats.scheduler_crashes))
+        .Cell(static_cast<int64_t>(stats.scheduler_recoveries))
+        .Cell(stats.avg_scheduler_recovery_latency(), 3)
+        .Cell(static_cast<int64_t>(stats.checkpoints))
+        .Cell(stats.journal_records)
+        .Cell(static_cast<int64_t>(stats.redispatched_monotasks));
+    crash.Print(title + " - scheduler crash recovery");
+  }
 }
 
 double JainFairnessIndex(const std::vector<double>& shares) {

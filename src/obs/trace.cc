@@ -82,6 +82,20 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "backpressure";
     case TraceEventKind::kScoringTruncated:
       return "scoring_truncated";
+    case TraceEventKind::kMsgDrop:
+      return "msg_drop";
+    case TraceEventKind::kMsgDup:
+      return "msg_dup";
+    case TraceEventKind::kMsgFenced:
+      return "msg_fenced";
+    case TraceEventKind::kSchedCrash:
+      return "sched_crash";
+    case TraceEventKind::kSchedRecover:
+      return "sched_recover";
+    case TraceEventKind::kCheckpoint:
+      return "checkpoint";
+    case TraceEventKind::kResync:
+      return "resync";
   }
   return "?";
 }
@@ -325,6 +339,21 @@ void Tracer::WriteChromeTrace(std::ostream& os) const {
                       "\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
                       "\"args\":{\"worker\":%d,\"latency_s\":%.9g}}",
                       TraceEventKindName(e.kind), ts, e.worker, e.worker, e.a);
+        emit(buf);
+        break;
+      case TraceEventKind::kMsgDrop:
+      case TraceEventKind::kMsgDup:
+      case TraceEventKind::kMsgFenced:
+      case TraceEventKind::kSchedCrash:
+      case TraceEventKind::kSchedRecover:
+      case TraceEventKind::kCheckpoint:
+      case TraceEventKind::kResync:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"%s\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"g\","
+                      "\"ts\":%.3f,\"pid\":%d,\"tid\":0,"
+                      "\"args\":{\"worker\":%d,\"latency_s\":%.9g}}",
+                      TraceEventKindName(e.kind), ts,
+                      e.worker == kInvalidId ? kSchedulerPid : e.worker, e.worker, e.a);
         emit(buf);
         break;
       case TraceEventKind::kAdmit:

@@ -76,6 +76,16 @@ enum class TraceEventKind : int8_t {
   // remaining jobs to the next tick (job == kInvalidId; a = pairs scored,
   // b = jobs skipped). Recorded through AdmissionEvent.
   kScoringTruncated = 22,
+  // Control-plane message layer + scheduler crash-recovery (DESIGN.md
+  // section 14). Recorded through WorkerEvent; worker == kInvalidId for
+  // scheduler-side events (crash, recover, checkpoint, resync).
+  kMsgDrop = 23,      // A send was dropped by the fault model.
+  kMsgDup = 24,       // A send was duplicated by the fault model.
+  kMsgFenced = 25,    // A delivery was discarded by epoch/incarnation fencing.
+  kSchedCrash = 26,   // Scheduler crash injected; live state wiped.
+  kSchedRecover = 27, // Scheduler back up (a = downtime + replay seconds).
+  kCheckpoint = 28,   // Journal checkpoint taken (a = records folded).
+  kResync = 29,       // Post-recovery worker resync (a = re-dispatches).
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -40,11 +40,30 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
     packing_ = std::make_unique<PackingState>(cluster, config_.placement);
   }
   handled_epoch_.resize(static_cast<size_t>(cluster_->size()), 0);
+  // Message layer (DESIGN.md section 14): always constructed; pure
+  // pass-through unless enabled, so the default costs no events or RNG.
+  ctrl_ = std::make_unique<ControlPlane>(sim_, cluster_, config_.ctrl, &fault_stats_);
+  ctrl_->set_down_check([this] { return down_; });
+  ctrl_->set_completion_handler(
+      [this](const ControlPlane::CompletionMsg& msg) { DeliverCompletion(msg); });
+  if (config_.ctrl.checkpoint_interval > 0.0) {
+    CHECK(config_.ctrl.enabled)
+        << "journaling requires the control plane (checkpoints pace the "
+           "message layer's crash-recovery model)";
+    journal_ = std::make_unique<Journal>();
+  }
   if (config_.fault.enable_heartbeat_detection) {
     detector_ = std::make_unique<FailureDetector>(sim_, cluster_, config_.fault.detector);
     detector_->set_on_death(
         [this](WorkerId w, [[maybe_unused]] double silence) { HandleWorkerFailure(w); });
     detector_->set_on_rejoin([this](WorkerId w) { OnWorkerRejoined(w); });
+    if (config_.ctrl.enabled) {
+      // Heartbeats ride the lossy best-effort channel: lost or late beats
+      // are exactly the silence the detector consumes.
+      detector_->set_transport([this](WorkerId w, std::function<void()> deliver) {
+        ctrl_->Heartbeat(w, std::move(deliver));
+      });
+    }
   }
   if (config_.admission.enabled) {
     admission_ = std::make_unique<AdmissionController>(config_.admission);
@@ -70,7 +89,19 @@ UrsaScheduler::~UrsaScheduler() {
   }
 }
 
+void UrsaScheduler::set_tracer(Tracer* tracer) {
+  tracer_ = tracer;
+  ctrl_->set_tracer(tracer);
+}
+
 void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
+  if (down_) {
+    // The scheduler front-end is down: the client's submission parks and is
+    // replayed, in arrival order, the moment the scheduler recovers (before
+    // any post-recovery arrival, so job ids stay dense).
+    parked_submits_.push_back(std::move(job));
+    return;
+  }
   CHECK_EQ(job->id, static_cast<JobId>(jobs_.size()))
       << "jobs must be submitted with dense sequential ids";
   job->submit_time = sim_->Now();
@@ -196,6 +227,11 @@ int UrsaScheduler::FailWorker(WorkerId worker_id) {
 }
 
 int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
+  if (down_) {
+    // A dead scheduler handles nothing. handled_epoch_ is deliberately not
+    // stamped: recovery re-handles every still-failed worker.
+    return 0;
+  }
   Worker& worker = cluster_->worker(worker_id);
   if (!worker.failed()) {
     // The detector declared a worker that is actually alive (e.g. degraded
@@ -263,9 +299,14 @@ void UrsaScheduler::OnWorkerRejoined(WorkerId worker_id) {
   EnsureTickScheduled();
 }
 
-void UrsaScheduler::StartJobManager(JobEntry& entry) {
+void UrsaScheduler::ConfigureJobManager(JobEntry& entry) {
   entry.jm = std::make_unique<JobManager>(sim_, cluster_, entry.job.get(), this);
   entry.jm->set_tracer(tracer_);
+  if (config_.ctrl.enabled) {
+    entry.jm->set_control_plane(ctrl_.get());
+  }
+  entry.jm->set_journal(journal_.get());
+  entry.jm->set_incarnation(entry.incarnation);
   entry.jm->set_use_intra_ordering(config_.enable_monotask_ordering);
   // EJF queue priority: admission (submission) order. SRJF ranks are
   // refreshed every tick.
@@ -291,20 +332,234 @@ void UrsaScheduler::StartJobManager(JobEntry& entry) {
   if (spec_manager_ != nullptr) {
     entry.jm->ConfigureSpeculation(spec_manager_.get());
   }
+}
+
+void UrsaScheduler::StartJobManager(JobEntry& entry) {
+  ConfigureJobManager(entry);
+  if (journal_ != nullptr) {
+    journal_->Append({JournalKind::kStartJm, entry.job->id, kInvalidId, kInvalidId,
+                      entry.incarnation, 0.0, 0.0, sim_->Now()});
+  }
   entry.jm->Start();
+}
+
+void UrsaScheduler::RestoreJobManager(JobEntry& entry, const JobImage& image) {
+  CHECK_EQ(image.incarnation, entry.incarnation)
+      << "journal image replays a different incarnation than the entry";
+  ConfigureJobManager(entry);
+  entry.jm->RestoreFromImage(image);
 }
 
 void UrsaScheduler::FullRestart(JobEntry& entry) {
   // Restart from the input checkpoint with a fresh job manager; the
-  // admission reservation carries over.
+  // admission reservation carries over. The incarnation bump fences any
+  // still-in-flight wire report of the aborted execution.
   entry.jm->Abort();
   aborted_jms_.push_back(std::move(entry.jm));
+  ++entry.incarnation;
   StartJobManager(entry);
   {
     MutexLock lock(state_mu_);
     ++total_restarts_;
   }
   fault_stats_.RecordFullRestart();
+}
+
+void UrsaScheduler::DeliverCompletion(const ControlPlane::CompletionMsg& msg) {
+  JobEntry& entry = *jobs_[static_cast<size_t>(msg.job)];
+  JobManager* jm = entry.jm.get();
+  if (jm == nullptr || entry.finished || jm->incarnation() != msg.incarnation) {
+    // The execution this report describes belongs to a dead incarnation
+    // (full restart or journal-less crash recovery) or a finished job.
+    fault_stats_.RecordMsgFenced();
+    if (tracer_ != nullptr) {
+      tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kMsgFenced, msg.worker);
+    }
+    return;
+  }
+  if (msg.failed) {
+    jm->OnMonotaskFailedWire(msg.monotask, msg.generation, msg.attempt);
+  } else {
+    jm->OnMonotaskCompleteWire(msg.monotask, msg.generation, msg.attempt);
+  }
+}
+
+void UrsaScheduler::InjectSchedulerCrash(double downtime) {
+  CHECK(config_.ctrl.enabled)
+      << "scheduler crash injection requires the control-plane message layer "
+         "(config.ctrl.enabled)";
+  CHECK_GE(downtime, 0.0);
+  if (down_) {
+    return;  // Already crashed; the pending recovery owns the control plane.
+  }
+  const double now = sim_->Now();
+  down_ = true;
+  crash_time_ = now;
+  fault_stats_.RecordSchedulerCrash();
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(now, TraceEventKind::kSchedCrash, kInvalidId);
+  }
+  // Epoch fencing: every dispatch minted by the dead incarnation is
+  // discarded at delivery (or at its retransmit timer), so a stale message
+  // can never double-charge a worker or resurrect a cancelled copy.
+  ctrl_->BumpEpoch();
+  // A restarted scheduler does not remember which worker failures it
+  // handled; recovery re-handles every still-failed worker idempotently.
+  std::fill(handled_epoch_.begin(), handled_epoch_.end(), 0);
+  const bool journaled = journal_ != nullptr;
+  for (auto& entry : jobs_) {
+    if (!entry->admitted || entry->finished || entry->jm == nullptr) {
+      continue;
+    }
+    // Speculative copies are forfeited either way: their cancel/liveness
+    // tokens are live scheduler state and die with the job manager.
+    entry->jm->ForfeitSpeculation();
+    if (journaled) {
+      // Wipe the live state; the journal owns the truth now. Orphaned
+      // monotasks keep running on their workers — their memory charges and
+      // metadata Puts are worker-side state — and re-attach after restore.
+      entry->jm.reset();
+    } else {
+      // No journal: the job's progress is unrecoverable. Degrade to a full
+      // restart from the input checkpoint at recovery.
+      entry->jm->Abort();
+      aborted_jms_.push_back(std::move(entry->jm));
+    }
+  }
+  double delay = downtime + config_.ctrl.recovery_base_cost;
+  if (journaled) {
+    // Replay cost is charged only for the journal suffix written since the
+    // last checkpoint; the checkpoint image covers the prefix.
+    delay += config_.ctrl.replay_cost_per_record *
+             static_cast<double>(journal_->suffix_length());
+    fault_stats_.RecordJournalSize(static_cast<int64_t>(journal_->size()));
+  }
+  sim_->Schedule(delay, [this] { RecoverScheduler(); });
+}
+
+void UrsaScheduler::RecoverScheduler() {
+  const double now = sim_->Now();
+  CHECK(down_);
+  down_ = false;
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(now, TraceEventKind::kSchedRecover, kInvalidId,
+                         now - crash_time_);
+  }
+  const bool journaled = journal_ != nullptr;
+  if (journaled) {
+    // Replay the journal into per-job images and restore every live job's
+    // manager from its image. Replay applies the full record sequence; only
+    // the post-checkpoint suffix was charged as recovery latency.
+    std::map<JobId, JobImage> images;
+    for (const JournalRecord& rec : journal_->records()) {
+      ApplyJournalRecord(rec, jobs_[static_cast<size_t>(rec.job)]->job->plan,
+                         &images[rec.job]);
+    }
+    for (auto& entry : jobs_) {
+      if (!entry->admitted || entry->finished) {
+        continue;
+      }
+      auto it = images.find(entry->job->id);
+      CHECK(it != images.end()) << "admitted job missing from the journal";
+      RestoreJobManager(*entry, it->second);
+    }
+  } else {
+    for (auto& entry : jobs_) {
+      if (!entry->admitted || entry->finished) {
+        continue;
+      }
+      ++entry->incarnation;
+      StartJobManager(*entry);
+      {
+        MutexLock lock(state_mu_);
+        ++total_restarts_;
+      }
+      fault_stats_.RecordFullRestart();
+    }
+  }
+  // The detector's liveness state is scheduler-side: re-seed it so silence
+  // is measured from recovery, then re-handle every currently-failed worker
+  // (handled_epoch_ was zeroed at crash). This resets restored placements
+  // stranded on dead workers — including pre-crash primary_lost tasks whose
+  // forfeited copy left them without a runner.
+  if (detector_ != nullptr) {
+    detector_->Reset(now);
+  }
+  for (int w = 0; w < cluster_->size(); ++w) {
+    if (cluster_->worker(w).failed()) {
+      HandleWorkerFailure(w);
+    }
+  }
+  // Resync: re-send every dispatch of a restored placement that no worker
+  // acked (the send died with the old epoch, or a pending retry-backoff
+  // event was lost in the crash). Acked dispatches are skipped — their
+  // orphans are still queued or running and will re-attach.
+  int redispatched = 0;
+  if (journaled) {
+    for (auto& entry : jobs_) {
+      if (!entry->admitted || entry->finished || entry->jm == nullptr) {
+        continue;
+      }
+      redispatched += entry->jm->ResyncDispatches();
+    }
+  }
+  fault_stats_.RecordRedispatched(redispatched);
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(now, TraceEventKind::kResync, kInvalidId,
+                         static_cast<double>(redispatched));
+  }
+  fault_stats_.RecordSchedulerRecovery(now - crash_time_);
+  // Submissions that arrived while down replay in arrival order, before any
+  // post-recovery arrival can interleave, so job ids stay dense.
+  std::vector<std::unique_ptr<Job>> parked;
+  parked.swap(parked_submits_);
+  for (auto& job : parked) {
+    SubmitJob(std::move(job));
+  }
+  {
+    MutexLock lock(state_mu_);
+    placement_dirty_ = true;
+  }
+  TryAdmitJobs();
+  EnsureTickScheduled();
+}
+
+void UrsaScheduler::EnsureCheckpointScheduled() {
+  if (journal_ == nullptr) {
+    return;
+  }
+  {
+    MutexLock lock(state_mu_);
+    if (checkpoint_scheduled_) {
+      return;
+    }
+    checkpoint_scheduled_ = true;
+  }
+  sim_->Schedule(config_.ctrl.checkpoint_interval, [this] { CheckpointTick(); });
+}
+
+void UrsaScheduler::CheckpointTick() {
+  {
+    MutexLock lock(state_mu_);
+    checkpoint_scheduled_ = false;
+  }
+  if (down_) {
+    return;  // Recovery re-arms the chain through EnsureTickScheduled.
+  }
+  journal_->Checkpoint(sim_->Now());
+  fault_stats_.RecordCheckpoint(static_cast<int64_t>(journal_->size()));
+  if (tracer_ != nullptr) {
+    tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kCheckpoint, kInvalidId,
+                         static_cast<double>(journal_->size()));
+  }
+  bool more = false;
+  {
+    MutexLock lock(state_mu_);
+    more = active_jobs_ > 0 || !waiting_admission_.empty();
+  }
+  if (more) {
+    EnsureCheckpointScheduled();
+  }
 }
 
 void UrsaScheduler::OnTaskReady([[maybe_unused]] JobId job, [[maybe_unused]] TaskId task) {
@@ -329,6 +584,12 @@ void UrsaScheduler::OnJobFinished(JobId job_id) {
   JobEntry& entry = *jobs_[static_cast<size_t>(job_id)];
   CHECK(entry.admitted && !entry.finished);
   entry.finished = true;
+  if (journal_ != nullptr) {
+    journal_->Append(
+        {JournalKind::kJobFinish, job_id, kInvalidId, kInvalidId, 0, 0.0, 0.0, sim_->Now()});
+  }
+  // The job's wire identities are dead; drop the per-worker dedup state.
+  ctrl_->ForgetJob(job_id);
   if (admission_ != nullptr) {
     admission_->OnJobFinished(job_id);
   }
@@ -362,6 +623,7 @@ void UrsaScheduler::EnsureTickScheduled() {
     tick_scheduled_ = true;
   }
   sim_->Schedule(config_.scheduling_interval, [this] { Tick(); });
+  EnsureCheckpointScheduled();
   if (detector_ != nullptr) {
     // (Re)start heartbeats and sweeps; both stop when the cluster goes idle
     // so the event queue can drain.
@@ -376,6 +638,9 @@ void UrsaScheduler::Tick() {
   {
     MutexLock lock(state_mu_);
     tick_scheduled_ = false;
+  }
+  if (down_) {
+    return;  // Crashed: recovery re-arms the tick chain.
   }
   ++counters_.ticks;
   const WallTimer wall;
@@ -412,6 +677,9 @@ void UrsaScheduler::Tick() {
 }
 
 void UrsaScheduler::TryAdmitJobs() {
+  if (down_) {
+    return;
+  }
   {
     MutexLock lock(state_mu_);
     if (waiting_admission_.empty()) {
@@ -529,6 +797,10 @@ void UrsaScheduler::TryAdmitJobs() {
                               admitted->job->spec.priority_tier,
                               now - admitted->job->submit_time,
                               static_cast<double>(admission_->counters().pending_now));
+    }
+    if (journal_ != nullptr) {
+      journal_->Append({JournalKind::kAdmit, admitted_id, kInvalidId, kInvalidId, 0,
+                        admitted->job->spec.declared_memory_bytes, 0.0, now});
     }
     StartJobManager(*admitted);
   }

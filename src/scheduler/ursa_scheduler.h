@@ -29,6 +29,8 @@
 
 #include "src/baselines/packing_schedulers.h"
 #include "src/common/mutex.h"
+#include "src/ctrl/control_plane.h"
+#include "src/ctrl/journal.h"
 #include "src/dag/critical_path.h"
 #include "src/exec/cluster.h"
 #include "src/exec/job_manager.h"
@@ -87,6 +89,10 @@ struct UrsaSchedulerConfig {
   // SLO-aware admission control, backpressure and load shedding for
   // open-loop serving (DESIGN.md section 11).
   AdmissionConfig admission;
+  // Scheduler<->worker message layer + scheduler crash-recovery (DESIGN.md
+  // section 14). Disabled by default: every send stays a synchronous direct
+  // call and seeded runs are byte-identical to the pre-message-layer paths.
+  ControlPlaneConfig ctrl;
   // --- Hot-path scaling (DESIGN.md section 12). ---
   // Maintain the per-worker load snapshot incrementally from worker dirty
   // notifications instead of rebuilding every worker at every refresh point.
@@ -132,6 +138,21 @@ class UrsaScheduler : public JobManagerListener {
     MutexLock lock(state_mu_);
     return total_restarts_;
   }
+
+  // --- Scheduler crash injection (DESIGN.md section 14). ---
+  // Crashes the scheduler control plane for `downtime` seconds: live
+  // job-manager state is wiped, the message-layer epoch is bumped (fencing
+  // every in-flight dispatch), ticks and failure handling are suspended, and
+  // submissions arriving while down are parked. Recovery restores job state
+  // from the checkpoint+journal when journaling is on (checkpoint_interval >
+  // 0) — orphaned monotasks keep running on their workers and re-attach —
+  // or falls back to full restarts of every live job when it is off.
+  // Requires config.ctrl.enabled; a crash while already down is ignored.
+  void InjectSchedulerCrash(double downtime);
+  bool scheduler_down() const { return down_; }
+  const ControlPlane* control_plane() const { return ctrl_.get(); }
+  // Null when journaling is disabled.
+  const Journal* journal() const { return journal_.get(); }
 
   // Snapshot of the recovery/retry/detection counters for this run (also
   // written to by the failure detector, the job managers and the
@@ -182,9 +203,9 @@ class UrsaScheduler : public JobManagerListener {
   const JobManager* job_manager(JobId id) const;
 
   // Attaches an event tracer (src/obs) recording tick spans and fault
-  // events; propagated to every job manager started afterwards. Not owned.
-  // Call before submitting jobs.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // events; propagated to every job manager started afterwards and to the
+  // message layer. Not owned. Call before submitting jobs.
+  void set_tracer(Tracer* tracer);
 
   // Aborted job managers still held for in-flight callbacks; they are
   // reclaimed when their job finishes, so this is bounded by active jobs.
@@ -220,6 +241,9 @@ class UrsaScheduler : public JobManagerListener {
     bool admitted = false;
     bool finished = false;
     bool shed = false;  // Rejected or evicted by admission control; never ran.
+    // Bumped on every full restart (and on journal-less crash recovery);
+    // wire reports from an older incarnation's executions are fenced.
+    int incarnation = 0;
     double srjf_rank = 0.0;
     // Graphene: per-stage critical-path analysis (empty unless computed).
     StageCriticality crit;
@@ -265,8 +289,23 @@ class UrsaScheduler : public JobManagerListener {
   void OnWorkerRejoined(WorkerId worker);
   // Restarts one job from its input checkpoint with a fresh job manager.
   void FullRestart(JobEntry& entry);
+  // Creates and configures (but does not start) a job manager for `entry`.
+  void ConfigureJobManager(JobEntry& entry);
   // Creates and starts a job manager for an admitted or restarted job.
   void StartJobManager(JobEntry& entry);
+  // Creates a job manager and rebuilds its runtime state from a journal
+  // image (scheduler crash-recovery) instead of starting fresh.
+  void RestoreJobManager(JobEntry& entry, const JobImage& image);
+  // Routes an identity-addressed wire completion/failure report to the
+  // incarnation that owns the job, or fences it.
+  void DeliverCompletion(const ControlPlane::CompletionMsg& msg);
+  // Brings the scheduler back up after InjectSchedulerCrash: restores or
+  // restarts every live job, reconciles currently-failed workers, re-sends
+  // unacked dispatches and resubmits parked jobs.
+  void RecoverScheduler();
+  // Periodic checkpoint chain (journaling only), mirroring the tick chain.
+  void EnsureCheckpointScheduled();
+  void CheckpointTick();
 
   // One candidate placement for a stage of ready tasks.
   struct StagePlan {
@@ -403,8 +442,23 @@ class UrsaScheduler : public JobManagerListener {
   FaultStats fault_stats_;
   // Last Worker::failure_epoch() handled per worker, so an explicit
   // FailWorker() call and a later detector declaration of the same crash
-  // trigger recovery exactly once.
+  // trigger recovery exactly once. Zeroed on a scheduler crash: a restarted
+  // scheduler does not remember which failures it handled, so recovery
+  // re-handles every currently-failed worker (idempotently).
   std::vector<int> handled_epoch_;
+
+  // --- Control plane & crash-recovery (DESIGN.md section 14). ---
+  // Always constructed; pass-through (zero events, zero RNG draws) unless
+  // config_.ctrl.enabled.
+  std::unique_ptr<ControlPlane> ctrl_;
+  // Non-null when config_.ctrl.checkpoint_interval > 0.
+  std::unique_ptr<Journal> journal_;
+  // Scheduler control plane down (between InjectSchedulerCrash and
+  // RecoverScheduler): ticks, failure handling and deliveries are suspended.
+  bool down_ = false;
+  double crash_time_ = 0.0;
+  // Jobs submitted while down, resubmitted in arrival order at recovery.
+  std::vector<std::unique_ptr<Job>> parked_submits_;
 
   // --- Hot-path state (DESIGN.md section 12); sim-thread only. ---
   struct LoadCache {
@@ -455,6 +509,7 @@ class UrsaScheduler : public JobManagerListener {
   int shed_jobs_ GUARDED_BY(state_mu_) = 0;
   int active_jobs_ GUARDED_BY(state_mu_) = 0;
   bool tick_scheduled_ GUARDED_BY(state_mu_) = false;
+  bool checkpoint_scheduled_ GUARDED_BY(state_mu_) = false;
   bool placement_dirty_ GUARDED_BY(state_mu_) = false;
 };
 

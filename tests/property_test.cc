@@ -336,5 +336,78 @@ TEST_P(ChaosInvariants, WorkerCountersNeverGoNegativeAndDrainToZero) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosInvariants, ::testing::Range<uint64_t>(1, 6));
 
+// Control-plane chaos (DESIGN.md section 14): with the lossy message layer,
+// mid-run scheduler crashes and a worker failure all active, execution must
+// stay at-most-once per attempt. The observable: every job finishes, and
+// every worker drains to zero with clean memory books — a duplicate dispatch
+// that ran twice, or a restored placement that double-charged memory, would
+// leak busy counters or allocation permanently.
+class CtrlChaosInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CtrlChaosInvariants, ExactlyOnceObservablesHoldUnderMessageChaos) {
+  const uint64_t seed = GetParam();
+  Simulator sim;
+  ClusterConfig cc;
+  cc.num_workers = 5;
+  cc.worker.cores = 8;
+  cc.worker.cpu_byte_rate = 100e6;
+  Cluster cluster(&sim, cc);
+  UrsaSchedulerConfig sc;
+  sc.ctrl.enabled = true;
+  sc.ctrl.seed = seed;
+  sc.ctrl.loss_prob = 0.1;
+  sc.ctrl.dup_prob = 0.1;
+  sc.ctrl.delay_prob = 0.1;
+  // Odd seeds journal, even seeds exercise the full-restart fallback.
+  sc.ctrl.checkpoint_interval = (seed % 2 == 1) ? 1.0 : 0.0;
+  sc.spec.enabled = true;  // Speculative channels join the dedup surface.
+  sc.spec.min_runtime = 0.5;
+  sc.spec.min_stage_samples = 2;
+  sc.spec.slowdown_threshold = 1.3;
+  UrsaScheduler scheduler(&sim, &cluster, sc);
+
+  TpchWorkloadConfig wc;
+  wc.num_jobs = 6;
+  wc.submit_interval = 2.0;
+  wc.seed = seed;
+  const Workload workload = MakeTpchWorkload(wc);
+  for (size_t i = 0; i < workload.jobs.size(); ++i) {
+    sim.ScheduleAt(workload.jobs[i].submit_time, [&, i] {
+      scheduler.SubmitJob(Job::Create(static_cast<JobId>(i), workload.jobs[i].spec));
+    });
+  }
+  sim.ScheduleAt(4.0 + static_cast<double>(seed), [&] { scheduler.FailWorker(2); });
+  sim.ScheduleAt(8.0 + static_cast<double>(seed),
+                 [&] { scheduler.InjectSchedulerCrash(2.0); });
+  sim.Run();
+
+  EXPECT_TRUE(scheduler.AllJobsFinished()) << "seed " << seed;
+  const FaultCounters c = scheduler.fault_stats();
+  EXPECT_EQ(c.scheduler_crashes, 1);
+  EXPECT_EQ(c.scheduler_recoveries, 1);
+  EXPECT_GT(c.msgs_lost, 0);
+  EXPECT_GT(c.msgs_duplicated, 0);
+  // Every duplicated or retransmitted dispatch that landed twice was
+  // suppressed by the worker-side dedup, never run twice.
+  EXPECT_GE(c.dup_suppressed, 0);
+  for (int w = 0; w < cluster.size(); ++w) {
+    const Worker& worker = cluster.worker(w);
+    if (worker.failed()) {
+      continue;
+    }
+    EXPECT_EQ(worker.busy_cores(), 0) << "worker " << w;
+    EXPECT_EQ(worker.busy_disks(), 0) << "worker " << w;
+    EXPECT_EQ(worker.active_network(), 0) << "worker " << w;
+    for (int r = 0; r < kNumMonotaskResources; ++r) {
+      EXPECT_NEAR(worker.running_bytes(static_cast<ResourceType>(r)), 0.0, 1e-3)
+          << "worker " << w << " resource " << r;
+    }
+    EXPECT_NEAR(worker.free_memory(), worker.memory_capacity(), 1.0)
+        << "worker " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CtrlChaosInvariants, ::testing::Range<uint64_t>(1, 6));
+
 }  // namespace
 }  // namespace ursa

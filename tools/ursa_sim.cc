@@ -18,6 +18,12 @@
 //              --fault-degrades=N --fault-seed=N --fault-horizon=SEC
 //              --detect-timeout=SEC --heartbeat=SEC --no-lineage
 //              --retry-attempts=N
+// Control:     --ctrl (scheduler<->worker message layer) --msg-loss=P
+//              --msg-dup=P --msg-delay=P --msg-delay-extra=SEC
+//              --msg-latency=SEC --sched-crash=N --sched-downtime=SEC
+//              --checkpoint-interval=SEC (enables the decision journal;
+//              0 = crash degrades to full job restarts). Any of these
+//              implies --ctrl. DESIGN.md section 14.
 // Speculation: --spec --spec-threshold=X --spec-budget=FRAC
 //              --spec-min-runtime=SEC
 // Open loop:   --open-loop (or --workload=openloop) --arrival-rate=JOBS/S
@@ -81,6 +87,17 @@ struct Flags {
   double heartbeat = 0.5;
   bool no_lineage = false;
   int retry_attempts = 3;
+  // Control-plane chaos (DESIGN.md section 14; Ursa schemes only). Any of
+  // these flags turns on the scheduler<->worker message layer.
+  bool ctrl = false;
+  double msg_loss = 0.0;
+  double msg_dup = 0.0;
+  double msg_delay = 0.0;
+  double msg_delay_extra = 0.05;
+  double msg_latency = 0.0005;
+  int sched_crashes = 0;
+  double sched_downtime = 5.0;
+  double checkpoint_interval = 0.0;
   // Straggler mitigation (DESIGN.md section 9; Ursa schemes only).
   bool spec = false;
   double spec_threshold = 1.75;
@@ -165,6 +182,10 @@ int Usage() {
                "                [--fault-seed=N] [--fault-horizon=SEC]\n"
                "                [--detect-timeout=SEC] [--heartbeat=SEC]\n"
                "                [--no-lineage] [--retry-attempts=N]\n"
+               "                [--ctrl] [--msg-loss=P] [--msg-dup=P] [--msg-delay=P]\n"
+               "                [--msg-delay-extra=SEC] [--msg-latency=SEC]\n"
+               "                [--sched-crash=N] [--sched-downtime=SEC]\n"
+               "                [--checkpoint-interval=SEC]\n"
                "                [--spec] [--spec-threshold=X] [--spec-budget=FRAC]\n"
                "                [--spec-min-runtime=SEC]\n"
                "                [--open-loop] [--arrival-rate=JOBS/S] [--arrival-trace=FILE]\n"
@@ -261,6 +282,40 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "retry-attempts", &value)) {
       if (!ToInt(value, 1, 1000, &flags.retry_attempts)) {
         return BadFlagValue("retry-attempts", value);
+      }
+    } else if (std::strcmp(argv[i], "--ctrl") == 0) {
+      flags.ctrl = true;
+    } else if (ParseFlag(argv[i], "msg-loss", &value)) {
+      if (!ToDouble(value, 0.0, 0.999, &flags.msg_loss)) {
+        return BadFlagValue("msg-loss", value);
+      }
+    } else if (ParseFlag(argv[i], "msg-dup", &value)) {
+      if (!ToDouble(value, 0.0, 0.999, &flags.msg_dup)) {
+        return BadFlagValue("msg-dup", value);
+      }
+    } else if (ParseFlag(argv[i], "msg-delay", &value)) {
+      if (!ToDouble(value, 0.0, 0.999, &flags.msg_delay)) {
+        return BadFlagValue("msg-delay", value);
+      }
+    } else if (ParseFlag(argv[i], "msg-delay-extra", &value)) {
+      if (!ToDouble(value, 0.0, 1e6, &flags.msg_delay_extra)) {
+        return BadFlagValue("msg-delay-extra", value);
+      }
+    } else if (ParseFlag(argv[i], "msg-latency", &value)) {
+      if (!ToDouble(value, 0.0, 1e6, &flags.msg_latency)) {
+        return BadFlagValue("msg-latency", value);
+      }
+    } else if (ParseFlag(argv[i], "sched-crash", &value)) {
+      if (!ToInt(value, 0, 100000, &flags.sched_crashes)) {
+        return BadFlagValue("sched-crash", value);
+      }
+    } else if (ParseFlag(argv[i], "sched-downtime", &value)) {
+      if (!ToDouble(value, 0.0, 1e9, &flags.sched_downtime)) {
+        return BadFlagValue("sched-downtime", value);
+      }
+    } else if (ParseFlag(argv[i], "checkpoint-interval", &value)) {
+      if (!ToDouble(value, 0.0, 1e9, &flags.checkpoint_interval)) {
+        return BadFlagValue("checkpoint-interval", value);
       }
     } else if (std::strcmp(argv[i], "--spec") == 0) {
       flags.spec = true;
@@ -498,8 +553,21 @@ int main(int argc, char** argv) {
   config.ursa.spec.slowdown_threshold = flags.spec_threshold;
   config.ursa.spec.budget_fraction = flags.spec_budget;
   config.ursa.spec.min_runtime = flags.spec_min_runtime;
+  // Control-plane message layer + chaos (DESIGN.md section 14). Any chaos
+  // knob implies the message layer; with none of them the layer stays off and
+  // seeded runs are byte-identical to the direct-call path.
+  config.ursa.ctrl.enabled = flags.ctrl || flags.msg_loss > 0.0 || flags.msg_dup > 0.0 ||
+                             flags.msg_delay > 0.0 || flags.sched_crashes > 0 ||
+                             flags.checkpoint_interval > 0.0;
+  config.ursa.ctrl.seed = flags.fault_seed;
+  config.ursa.ctrl.base_latency = flags.msg_latency;
+  config.ursa.ctrl.loss_prob = flags.msg_loss;
+  config.ursa.ctrl.dup_prob = flags.msg_dup;
+  config.ursa.ctrl.delay_prob = flags.msg_delay;
+  config.ursa.ctrl.delay_extra = flags.msg_delay_extra;
+  config.ursa.ctrl.checkpoint_interval = flags.checkpoint_interval;
   if (flags.fault_crashes + flags.fault_recovers + flags.fault_transients +
-          flags.fault_degrades >
+          flags.fault_degrades + flags.sched_crashes >
       0) {
     FaultPlanConfig pc;
     pc.seed = flags.fault_seed;
@@ -509,6 +577,9 @@ int main(int argc, char** argv) {
     pc.crash_recovers = flags.fault_recovers;
     pc.transients = flags.fault_transients;
     pc.degrades = flags.fault_degrades;
+    pc.sched_crash_recovers = flags.sched_crashes;
+    pc.min_sched_downtime = flags.sched_downtime;
+    pc.max_sched_downtime = flags.sched_downtime;
     config.fault_plan = MakeRandomFaultPlan(pc);
   }
 
