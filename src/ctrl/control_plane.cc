@@ -240,6 +240,10 @@ bool ControlPlane::Delivered(WorkerId worker, const MsgKey& key) const {
   return seen.find(key) != seen.end();
 }
 
+void ControlPlane::ForgetWorker(WorkerId worker) {
+  delivered_[static_cast<size_t>(worker)].clear();
+}
+
 void ControlPlane::ForgetJob(JobId job) {
   for (std::set<MsgKey>& seen : delivered_) {
     MsgKey lo;

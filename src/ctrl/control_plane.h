@@ -137,6 +137,13 @@ class ControlPlane {
   // Drops per-worker dedup state for a finished job.
   void ForgetJob(JobId job);
 
+  // Drops one worker's whole delivered-dispatch set. Called when the worker
+  // fails: the set is worker-side state, so a crash wipes it along with the
+  // queues, and resync after a scheduler recovery must be able to re-send
+  // (and the rejoined worker to re-accept) dispatches the dead process had
+  // acked.
+  void ForgetWorker(WorkerId worker);
+
  private:
   struct PendingDispatch {
     WorkerId worker = kInvalidId;

@@ -1,8 +1,46 @@
 #include "src/ctrl/journal.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace ursa {
+
+void Journal::Append(const JournalRecord& record) {
+  ++appended_;
+  if (record.kind == JournalKind::kJobFinish) {
+    // A finished job is never replayed: scheduler memory keeps the finished
+    // flag across crashes and recovery skips such entries, so the job's
+    // checkpoint image and any not-yet-folded records are garbage. Dropping
+    // them here is the compaction that keeps journal state O(live work).
+    images_.erase(record.job);
+    records_.erase(std::remove_if(records_.begin(), records_.end(),
+                                  [&record](const JournalRecord& r) {
+                                    return r.job == record.job;
+                                  }),
+                   records_.end());
+    return;
+  }
+  records_.push_back(record);
+}
+
+void Journal::Checkpoint(double now, const PlanResolver& plan_of) {
+  for (const JournalRecord& record : records_) {
+    ApplyJournalRecord(record, plan_of(record.job), &images_[record.job]);
+  }
+  records_.clear();
+  ++checkpoints_;
+  last_checkpoint_time_ = now;
+}
+
+std::map<JobId, JobImage> Journal::Restore(const PlanResolver& plan_of) const {
+  std::map<JobId, JobImage> images = images_;
+  for (const JournalRecord& record : records_) {
+    ApplyJournalRecord(record, plan_of(record.job), &images[record.job]);
+  }
+  return images;
+}
 
 namespace {
 

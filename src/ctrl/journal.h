@@ -2,15 +2,18 @@
 //
 // The scheduler appends one compact record per durable decision (admission,
 // job-manager (re)start, placement, monotask completion/failure, task reset,
-// task/job completion). A periodic checkpoint marks a prefix of the journal
-// as folded into the checkpoint image; recovery replay cost is charged only
-// for the suffix written since the last checkpoint. Because this is a
-// simulator, the "disk" is an in-memory vector and replay rebuilds per-job
-// images (JobImage) that JobManager::RestoreFromImage consumes.
+// task/job completion). A periodic checkpoint folds the records appended so
+// far into per-job images (JobImage) and truncates them, so journal memory
+// and recovery replay work track live state rather than the full decision
+// history; a job's image and records are dropped outright when it finishes.
+// Because this is a simulator, the "disk" is in-memory and recovery replay
+// cost is charged only for the post-checkpoint suffix.
 #ifndef SRC_CTRL_JOURNAL_H_
 #define SRC_CTRL_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <vector>
 
 #include "src/dag/plan.h"
@@ -26,7 +29,7 @@ enum class JournalKind : int8_t {
   kMonoFailed = 4, // monotask execution failed (attempt consumed)
   kTaskReset = 5,  // task invalidated (lineage reset / re-placement)
   kTaskDone = 6,   // task completed; time = finish time
-  kJobFinish = 7,  // job finished; journal state for it is dead weight
+  kJobFinish = 7,  // job finished; its journal state is dropped on append
 };
 
 struct JournalRecord {
@@ -64,25 +67,41 @@ struct JobImage {
 
 class Journal {
  public:
-  void Append(const JournalRecord& record) { records_.push_back(record); }
+  // Resolves a job id to its execution plan, used to size that job's image
+  // on its first folded or replayed record.
+  using PlanResolver = std::function<const ExecutionPlan&(JobId)>;
 
-  // Folds everything appended so far into the checkpoint image: replay after
-  // a crash only pays for records appended after this point.
-  void Checkpoint(double now) {
-    checkpoint_index_ = records_.size();
-    last_checkpoint_time_ = now;
-    ++checkpoints_;
-  }
+  // Appends one record. kJobFinish retires the job instead: its checkpoint
+  // image and any of its not-yet-folded records are dropped on the spot —
+  // nothing will ever replay a finished job.
+  void Append(const JournalRecord& record);
 
-  const std::vector<JournalRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
-  size_t suffix_length() const { return records_.size() - checkpoint_index_; }
+  // Folds every record appended since the last checkpoint into the per-job
+  // checkpoint images and truncates them: replay after a crash restores the
+  // images and re-applies only records appended after this point.
+  void Checkpoint(double now, const PlanResolver& plan_of);
+
+  // Rebuilds the per-job images a recovery consumes: a copy of the
+  // checkpoint images with the post-checkpoint suffix applied on top.
+  // Finished jobs are absent.
+  std::map<JobId, JobImage> Restore(const PlanResolver& plan_of) const;
+
+  // Records held in memory — the suffix since the last checkpoint (the
+  // folded prefix lives in the checkpoint images). This is what a crash
+  // charges as replay latency.
+  size_t suffix_length() const { return records_.size(); }
+  // Total records ever appended (monotonic): the modeled on-disk write
+  // volume, unaffected by compaction.
+  size_t appended() const { return appended_; }
+  // Jobs with a checkpointed image (live at the last checkpoint).
+  size_t live_jobs() const { return images_.size(); }
   int checkpoints() const { return checkpoints_; }
   double last_checkpoint_time() const { return last_checkpoint_time_; }
 
  private:
-  std::vector<JournalRecord> records_;
-  size_t checkpoint_index_ = 0;
+  std::vector<JournalRecord> records_;  // Suffix since the last checkpoint.
+  std::map<JobId, JobImage> images_;    // Folded prefix, live jobs only.
+  size_t appended_ = 0;
   int checkpoints_ = 0;
   double last_checkpoint_time_ = -1.0;
 };

@@ -570,10 +570,18 @@ JobManager::RecoveryResult JobManager::RecoverFromWorkerFailure(WorkerId failed)
     ++num_reset;
     TaskRuntime& rt = tasks_[i];
     if (rt.state == TaskState::kPlaced) {
-      // Release is a no-op on the dead worker (its accounting was zeroed).
-      Worker& worker = cluster_->worker(rt.worker);
-      worker.ReleaseMemory(rt.allocated_memory);
-      worker.AddActualMemoryUse(-rt.actual_memory);
+      // Placements on the failed worker itself release nothing: their charges
+      // were wiped with the rest of the worker-side state when it failed.
+      // This must not rely on the worker still being down — a worker that
+      // failed AND rejoined while the scheduler was crashed is alive again
+      // with a fresh ledger by the time recovery reconciles the episode, and
+      // releasing against it would underflow. Placements reset on OTHER
+      // (alive) workers by the lineage fixpoint release normally.
+      if (rt.worker != failed) {
+        Worker& worker = cluster_->worker(rt.worker);
+        worker.ReleaseMemory(rt.allocated_memory);
+        worker.AddActualMemoryUse(-rt.actual_memory);
+      }
     } else if (rt.state == TaskState::kCompleted) {
       --completed_tasks_;
     }

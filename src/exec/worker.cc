@@ -73,6 +73,9 @@ void Worker::Fail() {
   mem_alloc_.Set(now, 0.0);
   mem_used_.Set(now, 0.0);
   MarkLoadChanged();
+  if (fail_listener_) {
+    fail_listener_(id_);
+  }
 }
 
 void Worker::Recover() {

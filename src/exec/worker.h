@@ -182,6 +182,15 @@ class Worker {
     load_listener_ = std::move(listener);
   }
 
+  // At most one listener; invoked with this worker's id at the end of every
+  // Fail() (once per failure episode, regardless of who injected it). The
+  // control plane uses it to drop the worker's delivered-dispatch dedup set:
+  // that set models worker-side state, so it dies with the machine and the
+  // post-recovery resync can re-send dispatches the dead process had acked.
+  void set_fail_listener(std::function<void(WorkerId)> listener) {
+    fail_listener_ = std::move(listener);
+  }
+
   // Current occupancy, for invariant checks in tests.
   int busy_cores() const { return ledger_.slots_in_use(ResourceType::kCpu); }
   int busy_disks() const { return ledger_.slots_in_use(ResourceType::kDisk); }
@@ -299,6 +308,7 @@ class Worker {
   std::function<void(WorkerId)> hb_sink_;
   std::function<bool()> hb_active_;
   std::function<void(WorkerId)> load_listener_;
+  std::function<void(WorkerId)> fail_listener_;
 
   // Concurrency slots, running bytes, completion counters, memory accounting
   // and the occupancy mirrors all live in the internally synchronized ledger

@@ -46,6 +46,15 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
   ctrl_->set_down_check([this] { return down_; });
   ctrl_->set_completion_handler(
       [this](const ControlPlane::CompletionMsg& msg) { DeliverCompletion(msg); });
+  if (config_.ctrl.enabled) {
+    // A failing worker loses its delivered-dispatch dedup set with the rest
+    // of its state, whether the failure is injected directly, via FailWorker
+    // or while the scheduler itself is down.
+    for (int w = 0; w < cluster_->size(); ++w) {
+      cluster_->worker(w).set_fail_listener(
+          [this](WorkerId id) { ctrl_->ForgetWorker(id); });
+    }
+  }
   if (config_.ctrl.checkpoint_interval > 0.0) {
     CHECK(config_.ctrl.enabled)
         << "journaling requires the control plane (checkpoints pace the "
@@ -83,9 +92,11 @@ UrsaScheduler::UrsaScheduler(Simulator* sim, Cluster* cluster,
 
 UrsaScheduler::~UrsaScheduler() {
   // The cluster outlives this scheduler inside RunExperiment; detach the
-  // load listeners so a later worker mutation cannot call a dead object.
+  // load and fail listeners so a later worker mutation cannot call a dead
+  // object.
   for (int w = 0; w < cluster_->size(); ++w) {
     cluster_->worker(w).set_load_listener(nullptr);
+    cluster_->worker(w).set_fail_listener(nullptr);
   }
 }
 
@@ -98,13 +109,18 @@ void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
   if (down_) {
     // The scheduler front-end is down: the client's submission parks and is
     // replayed, in arrival order, the moment the scheduler recovers (before
-    // any post-recovery arrival, so job ids stay dense).
+    // any post-recovery arrival, so job ids stay dense). The JCT clock
+    // starts now, at client arrival — the downtime a parked job waits is
+    // queueing delay the crash caused and must count against it.
+    job->submit_time = sim_->Now();
     parked_submits_.push_back(std::move(job));
     return;
   }
   CHECK_EQ(job->id, static_cast<JobId>(jobs_.size()))
       << "jobs must be submitted with dense sequential ids";
-  job->submit_time = sim_->Now();
+  if (!replaying_parked_) {
+    job->submit_time = sim_->Now();
+  }
   JobRecord record;
   record.id = job->id;
   record.name = job->spec.name;
@@ -112,7 +128,7 @@ void UrsaScheduler::SubmitJob(std::unique_ptr<Job> job) {
   record.tenant = job->spec.tenant;
   record.tier = job->spec.priority_tier;
   record.slo = job->spec.slo_seconds;
-  record.submit_time = sim_->Now();
+  record.submit_time = job->submit_time;
   records_.push_back(std::move(record));
 
   auto entry = std::make_unique<JobEntry>();
@@ -229,7 +245,7 @@ int UrsaScheduler::FailWorker(WorkerId worker_id) {
 int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
   if (down_) {
     // A dead scheduler handles nothing. handled_epoch_ is deliberately not
-    // stamped: recovery re-handles every still-failed worker.
+    // stamped: recovery reconciles every failure episode it missed.
     return 0;
   }
   Worker& worker = cluster_->worker(worker_id);
@@ -243,6 +259,17 @@ int UrsaScheduler::HandleWorkerFailure(WorkerId worker_id) {
   if (handled_epoch_[static_cast<size_t>(worker_id)] == worker.failure_epoch()) {
     return 0;
   }
+  return ReconcileWorkerFailure(worker_id);
+}
+
+int UrsaScheduler::ReconcileWorkerFailure(WorkerId worker_id) {
+  // Failure-episode reconciliation, shared by live failure handling and the
+  // post-crash recovery pass. Unlike HandleWorkerFailure it does not require
+  // the worker to still be failed(): a worker that crashed AND rejoined
+  // entirely within scheduler downtime is alive again, but its queued and
+  // in-flight monotasks and its metadata outputs died with the old process
+  // and must be reconciled all the same.
+  Worker& worker = cluster_->worker(worker_id);
   handled_epoch_[static_cast<size_t>(worker_id)] = worker.failure_epoch();
   const double now = sim_->Now();
   fault_stats_.RecordDetection(now, std::max(0.0, now - worker.failed_since()));
@@ -403,9 +430,10 @@ void UrsaScheduler::InjectSchedulerCrash(double downtime) {
   // discarded at delivery (or at its retransmit timer), so a stale message
   // can never double-charge a worker or resurrect a cancelled copy.
   ctrl_->BumpEpoch();
-  // A restarted scheduler does not remember which worker failures it
-  // handled; recovery re-handles every still-failed worker idempotently.
-  std::fill(handled_epoch_.begin(), handled_epoch_.end(), 0);
+  // handled_epoch_ is left as a snapshot of the failure episodes handled
+  // before the crash: recovery reconciles every worker whose failure epoch
+  // advanced past it (including workers that crashed AND rejoined entirely
+  // within the downtime) plus, idempotently, every still-failed worker.
   const bool journaled = journal_ != nullptr;
   for (auto& entry : jobs_) {
     if (!entry->admitted || entry->finished || entry->jm == nullptr) {
@@ -432,7 +460,7 @@ void UrsaScheduler::InjectSchedulerCrash(double downtime) {
     // last checkpoint; the checkpoint image covers the prefix.
     delay += config_.ctrl.replay_cost_per_record *
              static_cast<double>(journal_->suffix_length());
-    fault_stats_.RecordJournalSize(static_cast<int64_t>(journal_->size()));
+    fault_stats_.RecordJournalSize(static_cast<int64_t>(journal_->appended()));
   }
   sim_->Schedule(delay, [this] { RecoverScheduler(); });
 }
@@ -447,14 +475,13 @@ void UrsaScheduler::RecoverScheduler() {
   }
   const bool journaled = journal_ != nullptr;
   if (journaled) {
-    // Replay the journal into per-job images and restore every live job's
-    // manager from its image. Replay applies the full record sequence; only
-    // the post-checkpoint suffix was charged as recovery latency.
-    std::map<JobId, JobImage> images;
-    for (const JournalRecord& rec : journal_->records()) {
-      ApplyJournalRecord(rec, jobs_[static_cast<size_t>(rec.job)]->job->plan,
-                         &images[rec.job]);
-    }
+    // Restore per-job images — the checkpointed prefix plus a replay of the
+    // post-checkpoint suffix (the part charged as recovery latency) — and
+    // rebuild every live job's manager from its image.
+    std::map<JobId, JobImage> images = journal_->Restore(
+        [this](JobId job) -> const ExecutionPlan& {
+          return jobs_[static_cast<size_t>(job)]->job->plan;
+        });
     for (auto& entry : jobs_) {
       if (!entry->admitted || entry->finished) {
         continue;
@@ -478,16 +505,22 @@ void UrsaScheduler::RecoverScheduler() {
     }
   }
   // The detector's liveness state is scheduler-side: re-seed it so silence
-  // is measured from recovery, then re-handle every currently-failed worker
-  // (handled_epoch_ was zeroed at crash). This resets restored placements
-  // stranded on dead workers — including pre-crash primary_lost tasks whose
-  // forfeited copy left them without a runner.
+  // is measured from recovery, then reconcile every failure episode this
+  // scheduler cannot prove it handled. Any worker whose failure epoch
+  // advanced past the crash-time snapshot lost queued/in-flight monotasks
+  // and metadata outputs — even if it already rejoined and is alive again —
+  // and every still-failed worker is re-handled idempotently, which also
+  // resets restored placements stranded on dead workers (including
+  // pre-crash primary_lost tasks whose forfeited copy left them without a
+  // runner).
   if (detector_ != nullptr) {
     detector_->Reset(now);
   }
   for (int w = 0; w < cluster_->size(); ++w) {
-    if (cluster_->worker(w).failed()) {
-      HandleWorkerFailure(w);
+    const Worker& worker = cluster_->worker(w);
+    if (worker.failed() ||
+        worker.failure_epoch() != handled_epoch_[static_cast<size_t>(w)]) {
+      ReconcileWorkerFailure(w);
     }
   }
   // Resync: re-send every dispatch of a restored placement that no worker
@@ -510,12 +543,16 @@ void UrsaScheduler::RecoverScheduler() {
   }
   fault_stats_.RecordSchedulerRecovery(now - crash_time_);
   // Submissions that arrived while down replay in arrival order, before any
-  // post-recovery arrival can interleave, so job ids stay dense.
+  // post-recovery arrival can interleave, so job ids stay dense. They keep
+  // the submit_time stamped when they parked, so downtime queueing counts
+  // toward their JCT.
   std::vector<std::unique_ptr<Job>> parked;
   parked.swap(parked_submits_);
+  replaying_parked_ = true;
   for (auto& job : parked) {
     SubmitJob(std::move(job));
   }
+  replaying_parked_ = false;
   {
     MutexLock lock(state_mu_);
     placement_dirty_ = true;
@@ -546,11 +583,15 @@ void UrsaScheduler::CheckpointTick() {
   if (down_) {
     return;  // Recovery re-arms the chain through EnsureTickScheduled.
   }
-  journal_->Checkpoint(sim_->Now());
-  fault_stats_.RecordCheckpoint(static_cast<int64_t>(journal_->size()));
+  // Folding the suffix into the per-job images truncates the journal:
+  // memory and replay work track live state, not the full decision history.
+  journal_->Checkpoint(sim_->Now(), [this](JobId job) -> const ExecutionPlan& {
+    return jobs_[static_cast<size_t>(job)]->job->plan;
+  });
+  fault_stats_.RecordCheckpoint(static_cast<int64_t>(journal_->appended()));
   if (tracer_ != nullptr) {
     tracer_->WorkerEvent(sim_->Now(), TraceEventKind::kCheckpoint, kInvalidId,
-                         static_cast<double>(journal_->size()));
+                         static_cast<double>(journal_->appended()));
   }
   bool more = false;
   {

@@ -286,6 +286,12 @@ class UrsaScheduler : public JobManagerListener {
   // Recovery entry point shared by FailWorker() and the heartbeat detector.
   // Handles each worker-failure epoch exactly once; returns affected jobs.
   int HandleWorkerFailure(WorkerId worker);
+  // The reconciliation body: drops the worker's metadata, resets dependent
+  // tasks and stamps handled_epoch_. Unlike HandleWorkerFailure it does not
+  // require the worker to still be failed() — the post-crash recovery pass
+  // uses it for workers that crashed AND rejoined while the scheduler was
+  // down. Returns affected jobs.
+  int ReconcileWorkerFailure(WorkerId worker);
   void OnWorkerRejoined(WorkerId worker);
   // Restarts one job from its input checkpoint with a fresh job manager.
   void FullRestart(JobEntry& entry);
@@ -442,9 +448,11 @@ class UrsaScheduler : public JobManagerListener {
   FaultStats fault_stats_;
   // Last Worker::failure_epoch() handled per worker, so an explicit
   // FailWorker() call and a later detector declaration of the same crash
-  // trigger recovery exactly once. Zeroed on a scheduler crash: a restarted
-  // scheduler does not remember which failures it handled, so recovery
-  // re-handles every currently-failed worker (idempotently).
+  // trigger recovery exactly once. Preserved across a scheduler crash as a
+  // snapshot of the episodes handled before it: recovery reconciles every
+  // worker whose epoch advanced past the snapshot — even one that failed
+  // AND rejoined entirely within the downtime — plus, idempotently, every
+  // still-failed worker.
   std::vector<int> handled_epoch_;
 
   // --- Control plane & crash-recovery (DESIGN.md section 14). ---
@@ -458,7 +466,11 @@ class UrsaScheduler : public JobManagerListener {
   bool down_ = false;
   double crash_time_ = 0.0;
   // Jobs submitted while down, resubmitted in arrival order at recovery.
+  // Each carries the submit_time stamped when it parked, so the downtime it
+  // waited counts toward its JCT; replaying_parked_ keeps SubmitJob from
+  // re-stamping it at replay time.
   std::vector<std::unique_ptr<Job>> parked_submits_;
+  bool replaying_parked_ = false;
 
   // --- Hot-path state (DESIGN.md section 12); sim-thread only. ---
   struct LoadCache {

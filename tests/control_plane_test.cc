@@ -3,10 +3,12 @@
 // across scheduler downtime, best-effort heartbeats and journal bookkeeping.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 
 #include "src/ctrl/control_plane.h"
 #include "src/ctrl/journal.h"
+#include "src/dag/plan.h"
 #include "src/exec/cluster.h"
 #include "src/fault/fault_stats.h"
 #include "src/sim/simulator.h"
@@ -190,26 +192,77 @@ TEST(ControlPlaneConfigTest, RejectsMalformedProbabilities) {
   EXPECT_DEATH(ControlPlane(&sim, &cluster, cc, &stats), "loss_prob");
 }
 
-TEST(JournalTest, CheckpointTracksSuffix) {
+// A one-task, one-monotask plan: enough structure to fold placement and
+// completion records into an image.
+ExecutionPlan TinyPlan() {
+  OpGraph graph;
+  const DataId input = graph.CreateExternalData({5.0}, "in");
+  graph.CreateOp(ResourceType::kCpu, "only").Read(input).SetParallelism(1);
+  return ExecutionPlan::Build(graph, 1);
+}
+
+TEST(JournalTest, CheckpointFoldsPrefixIntoImages) {
   Journal journal;
-  EXPECT_EQ(journal.size(), 0u);
+  const ExecutionPlan plan = TinyPlan();
+  const Journal::PlanResolver plan_of = [&plan](JobId) -> const ExecutionPlan& {
+    return plan;
+  };
+  EXPECT_EQ(journal.appended(), 0u);
   EXPECT_EQ(journal.suffix_length(), 0u);
-  JournalRecord rec;
-  rec.kind = JournalKind::kAdmit;
-  rec.job = 0;
-  journal.Append(rec);
-  journal.Append(rec);
-  EXPECT_EQ(journal.size(), 2u);
-  EXPECT_EQ(journal.suffix_length(), 2u);
-  journal.Checkpoint(10.0);
+  journal.Append({JournalKind::kAdmit, 0});
+  journal.Append({JournalKind::kStartJm, 0, kInvalidId, kInvalidId, 0});
+  journal.Append({JournalKind::kPlace, 0, /*id=*/0, /*worker=*/1, /*gen=*/0,
+                  /*x=*/2.0, /*y=*/1.5, /*time=*/3.0});
+  EXPECT_EQ(journal.appended(), 3u);
+  EXPECT_EQ(journal.suffix_length(), 3u);
+  journal.Checkpoint(10.0, plan_of);
   EXPECT_EQ(journal.checkpoints(), 1);
   EXPECT_DOUBLE_EQ(journal.last_checkpoint_time(), 10.0);
-  // The checkpoint folds the prefix: replay latency is charged only for
-  // records appended after it.
+  // The checkpoint folds the prefix into per-job images and truncates the
+  // records: memory and replay latency track only the post-checkpoint
+  // suffix, while appended() keeps counting total write volume.
   EXPECT_EQ(journal.suffix_length(), 0u);
-  journal.Append(rec);
-  EXPECT_EQ(journal.size(), 3u);
+  EXPECT_EQ(journal.live_jobs(), 1u);
+  journal.Append({JournalKind::kTaskDone, 0, /*id=*/0, /*worker=*/1, /*gen=*/0,
+                  0.0, 0.0, /*time=*/12.0});
+  EXPECT_EQ(journal.appended(), 4u);
   EXPECT_EQ(journal.suffix_length(), 1u);
+  // Restore = folded image + suffix replay, identical to full-history replay.
+  std::map<JobId, JobImage> images = journal.Restore(plan_of);
+  ASSERT_EQ(images.size(), 1u);
+  const JobImage& image = images.at(0);
+  EXPECT_TRUE(image.admitted);
+  ASSERT_EQ(image.tasks.size(), 1u);
+  EXPECT_EQ(image.tasks[0].worker, 1);
+  EXPECT_DOUBLE_EQ(image.tasks[0].allocated_memory, 2.0);
+  EXPECT_TRUE(image.tasks[0].done);
+  EXPECT_DOUBLE_EQ(image.tasks[0].finish_time, 12.0);
+}
+
+TEST(JournalTest, JobFinishDropsImageAndSuffixRecords) {
+  Journal journal;
+  const ExecutionPlan plan = TinyPlan();
+  const Journal::PlanResolver plan_of = [&plan](JobId) -> const ExecutionPlan& {
+    return plan;
+  };
+  journal.Append({JournalKind::kAdmit, 0});
+  journal.Append({JournalKind::kAdmit, 1});
+  journal.Checkpoint(5.0, plan_of);
+  EXPECT_EQ(journal.live_jobs(), 2u);
+  journal.Append({JournalKind::kPlace, 0, /*id=*/0, /*worker=*/0, /*gen=*/0,
+                  1.0, 1.0, /*time=*/6.0});
+  journal.Append({JournalKind::kPlace, 1, /*id=*/0, /*worker=*/1, /*gen=*/0,
+                  1.0, 1.0, /*time=*/6.0});
+  // Finishing job 0 retires all its journal state — the checkpoint image and
+  // the not-yet-folded suffix record — so replay work stays O(live jobs).
+  journal.Append({JournalKind::kJobFinish, 0});
+  EXPECT_EQ(journal.live_jobs(), 1u);
+  EXPECT_EQ(journal.suffix_length(), 1u);
+  EXPECT_EQ(journal.appended(), 5u);  // Write volume still counts everything.
+  std::map<JobId, JobImage> images = journal.Restore(plan_of);
+  EXPECT_EQ(images.count(0), 0u);
+  ASSERT_EQ(images.count(1), 1u);
+  EXPECT_EQ(images.at(1).tasks[0].worker, 1);
 }
 
 }  // namespace
